@@ -1,0 +1,29 @@
+"""Shared benchmark configuration.
+
+The experiment benchmarks default to a scaled-down corpus so the suite
+runs in minutes; set ``REPRO_FULL_SCALE=1`` to regenerate the paper's
+tables at full PMD scale (463 classes / 3,120 methods / 38,483 lines).
+"""
+
+import os
+
+import pytest
+
+from repro.corpus import CorpusSpec
+
+FULL_SCALE = os.environ.get("REPRO_FULL_SCALE", "") == "1"
+
+#: Scale used when not running at full PMD size.
+DEFAULT_SCALE = 0.1
+
+
+def corpus_spec():
+    spec = CorpusSpec()
+    if FULL_SCALE:
+        return spec
+    return spec.scaled(DEFAULT_SCALE)
+
+
+@pytest.fixture(scope="session")
+def bench_corpus_spec():
+    return corpus_spec()

@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the substrates (parser, BP, checker, PFG).
+
+These use real pytest-benchmark rounds (unlike the one-shot experiment
+benches) and track the per-component costs that determine the Table 2/3
+wall-clock numbers.
+"""
+
+from repro.corpus.examples import FIGURE3_CLIENT, figure3_sources
+from repro.corpus.iterator_api import ITERATOR_API_SOURCE
+from repro.java.parser import parse_compilation_unit
+from repro.java.symbols import resolve_program
+from tests.conftest import method_ref
+
+
+def _program():
+    return resolve_program(
+        [parse_compilation_unit(s) for s in figure3_sources()]
+    )
+
+
+def test_bench_parse_figure3(benchmark):
+    result = benchmark(parse_compilation_unit, FIGURE3_CLIENT)
+    assert result.types[0].name == "Row"
+
+
+def test_bench_parse_api(benchmark):
+    result = benchmark(parse_compilation_unit, ITERATOR_API_SOURCE)
+    assert len(result.types) == 5
+
+
+def test_bench_build_pfg_copy(benchmark):
+    from repro.core.pfg_builder import build_pfg
+
+    program = _program()
+    ref = method_ref(program, "Row", "copy")
+    pfg = benchmark(build_pfg, program, ref)
+    assert pfg.node_count() > 10
+
+
+def test_bench_model_solve_copy(benchmark):
+    from repro.core.heuristics import HeuristicConfig
+    from repro.core.model import MethodModel
+    from repro.core.pfg_builder import build_pfg
+
+    program = _program()
+    ref = method_ref(program, "Row", "copy")
+    pfg = build_pfg(program, ref)
+    model = MethodModel(program, pfg, HeuristicConfig()).build()
+    result = benchmark(model.solve, 30, 0.2, 1e-4)
+    assert result.marginals
+
+
+def test_bench_plural_check_figure3(benchmark):
+    from repro.plural.checker import check_program
+
+    program = _program()
+    warnings = benchmark(check_program, program)
+    assert isinstance(warnings, list)
+
+
+def test_bench_sum_product_chain(benchmark):
+    import numpy as np
+
+    from repro.factorgraph import FactorGraph, run_sum_product, soft_equality
+    from repro.factorgraph.variables import make_prior
+
+    domain = ("unique", "full", "share", "immutable", "pure", "none")
+    graph = FactorGraph()
+    previous = graph.add_variable(
+        "v0", domain, prior=make_prior(domain, {"unique": 9, "pure": 1})
+    )
+    for index in range(1, 30):
+        current = graph.add_variable("v%d" % index, domain)
+        graph.add_factor(
+            soft_equality("e%d" % index, previous, current, 0.9)
+        )
+        previous = current
+    result = benchmark(run_sum_product, graph, 50)
+    assert np.argmax(result.marginals["v29"]) == 0  # unique propagated

@@ -1,0 +1,45 @@
+"""Scalability bench — the paper's modularity claim.
+
+"The algorithm generates probabilistic method summaries which enable a
+modular analysis that can scale the inference to large programs."
+
+ANEK's cost should grow roughly linearly with corpus size because each
+method's model is solved separately; this bench measures inference time
+at three corpus scales and checks the growth stays far below quadratic.
+"""
+
+import time
+
+from repro.core import AnekPipeline
+from repro.corpus import CorpusSpec, generate_pmd_corpus
+from repro.java.parser import parse_compilation_unit
+from repro.java.symbols import resolve_program
+
+
+def _run_at_scale(scale):
+    bundle = generate_pmd_corpus(CorpusSpec().scaled(scale))
+    program = resolve_program(
+        [parse_compilation_unit(s) for s in bundle.all_sources()]
+    )
+    methods = sum(1 for _ in program.methods_with_bodies())
+    pipeline = AnekPipeline(run_checker=False, apply_annotations=False)
+    start = time.perf_counter()
+    pipeline.run_on_program(program)
+    return methods, time.perf_counter() - start
+
+
+def test_bench_scaling_is_subquadratic(benchmark):
+    def run():
+        return [_run_at_scale(scale) for scale in (0.05, 0.1, 0.2)]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for methods, seconds in rows:
+        print("  %5d methods  %6.2f s  (%.2f ms/method)"
+              % (methods, seconds, 1000.0 * seconds / methods))
+    (m1, t1), _, (m3, t3) = rows
+    size_ratio = m3 / m1
+    time_ratio = t3 / max(t1, 1e-9)
+    print("  size x%.1f -> time x%.1f" % (size_ratio, time_ratio))
+    # Modular inference: far below quadratic growth.
+    assert time_ratio < size_ratio ** 2

@@ -1,0 +1,27 @@
+"""Table 1 — corpus statistics (paper: PMD, 38,483 lines / 463 classes /
+3,120 methods / 170 Iterator.next() calls)."""
+
+from benchmarks.conftest import FULL_SCALE
+from repro.reporting.experiments import PmdExperiment
+
+
+def test_bench_table1_statistics(benchmark, bench_corpus_spec):
+    experiment = PmdExperiment(corpus_spec=bench_corpus_spec)
+
+    def run():
+        return experiment.table1()
+
+    stats, table = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    spec = experiment.bundle.spec
+    assert stats["lines"] == spec.lines
+    assert stats["classes"] == spec.classes
+    assert stats["methods"] == spec.methods
+    if FULL_SCALE:
+        assert stats == {
+            "lines": 38483,
+            "classes": 463,
+            "methods": 3120,
+            "next_calls": 170,
+        }

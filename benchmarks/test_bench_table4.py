@@ -1,0 +1,38 @@
+"""Table 4 — quality of inferred specs vs the hand-annotation oracle.
+
+Paper rows: Same 14, Added Helpful 6, Added Constraining 1, Removed 3,
+Changed More Restrictive 6, Changed Wrong 3.  The reproduction's shape:
+the plurality of oracle-annotated methods come back identical, exactly
+the dynamic state-test methods are "removed" (ANEK does not attempt
+them), and at least one inferred spec is wrong — the consumeFirst
+branch-sensitivity miss that causes Table 2's extra warning.
+"""
+
+from benchmarks.conftest import FULL_SCALE
+from repro.reporting.experiments import PmdExperiment
+
+
+def test_bench_table4_spec_quality(benchmark, bench_corpus_spec):
+    experiment = PmdExperiment(corpus_spec=bench_corpus_spec)
+
+    def run():
+        return experiment.table4()
+
+    counts, table = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(table.render())
+
+    spec = experiment.bundle.spec
+    # Exactly the state-test methods are removed.
+    assert counts["ANEK Removed Spec."] == spec.state_test_overrides
+    if FULL_SCALE:
+        assert counts["ANEK Removed Spec."] == 3
+    # The plurality of oracle methods come back identical.
+    oracle_total = (
+        spec.wrappers + spec.param_consumers + 1 + spec.state_test_overrides
+    )
+    assert counts["Same"] >= oracle_total * 0.5
+    # The branch-sensitivity miss shows up as a wrong spec.
+    assert counts["ANEK Changed Spec., Wrong"] >= 1
+    # H4's name trap on the read-only settle* methods: more restrictive.
+    assert counts["ANEK Changed Spec., More Restrictive"] >= 1

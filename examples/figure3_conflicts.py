@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""The paper's running example: inference under conflicting constraints.
+
+Reproduces §1's scenario: the spreadsheet application of Figure 3 uses
+``createColIter`` correctly in guarded loops, but ``testParseCSV`` calls
+``next()`` on fresh iterators without checking ``hasNext()`` — producing
+*conflicting* constraints on the wrapper's returned state (ALIVE vs
+HASNEXT).  ANEK's probabilistic constraints let the evidence vote:
+ALIVE wins, the wrapper gets ``unique(result) in ALIVE`` (unique thanks
+to heuristic H3 on ``create*`` names), and PLURAL subsequently flags
+exactly the unguarded calls.
+
+    python examples/figure3_conflicts.py
+"""
+
+from repro.core import infer_and_check
+from repro.corpus.examples import figure3_sources
+
+
+def main():
+    result = infer_and_check(figure3_sources())
+
+    print("Specs inferred for the Figure 3 client:")
+    for ref, spec in sorted(
+        result.specs.items(), key=lambda kv: kv[0].qualified_name
+    ):
+        if spec.is_empty or ref.class_decl.name != "Row":
+            continue
+        print("  %-22s %s" % (ref.qualified_name, spec))
+    print()
+
+    wrapper = [
+        spec
+        for ref, spec in result.specs.items()
+        if ref.qualified_name == "Row.createColIter"
+    ][0]
+    result_clause = [c for c in wrapper.ensures if c.target == "result"][0]
+    print(
+        "createColIter returns: %s(result) in %s"
+        % (result_clause.kind, result_clause.state)
+    )
+    print(
+        "-> the 'many guarded uses' evidence outweighed testParseCSV's"
+        " HASNEXT demand, exactly as §1 describes; H3 chose unique."
+    )
+    print()
+
+    print("PLURAL warnings on the inferred specs:")
+    for warning in result.warnings:
+        print("  " + warning.format())
+    print(
+        "\nAll warnings fall in testParseCSV: %s"
+        % all(w.method == "Row.testParseCSV" for w in result.warnings)
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,140 @@
+"""Local must-alias analysis (paper §3.1).
+
+The PFG builder tracks *permissions to objects*, but source programs
+reassign object references between local variables.  This analysis
+computes, at every CFG node, a partition of local variables into
+must-alias classes: variables in the same class definitely refer to the
+same object along every path reaching that point.
+
+The lattice element is a mapping ``var -> witness`` where a *witness* is a
+token identifying the object's defining occurrence (an allocation, a call
+result, a field load, a parameter, or an unknown).  Two variables
+must-alias iff they map to the same witness.  Join intersects: variables
+whose witnesses disagree between branches are demoted to fresh unknown
+witnesses.
+"""
+
+from repro.analysis import ir
+from repro.analysis.dataflow import ForwardAnalysis
+
+
+def _leaf_witnesses(witness):
+    """The flattened set of base witnesses a (possibly join) witness
+    covers; keeps join witnesses depth-bounded."""
+    if isinstance(witness, tuple) and witness and witness[0] == "join":
+        return witness[3]
+    return frozenset([witness])
+
+
+class MustAliasAnalysis(ForwardAnalysis):
+    """Forward must-alias over one method's CFG."""
+
+    def __init__(self, params):
+        self.params = list(params)
+
+    def initial(self):
+        return None  # bottom: no information (unreached)
+
+    def boundary(self):
+        fact = {}
+        for name in self.params:
+            fact[name] = ("param", name)
+        fact["this"] = ("param", "this")
+        return fact
+
+    def join(self, left, right):
+        if left is None:
+            return right
+        if right is None:
+            return left
+        join_point = getattr(self, "_join_node", None)
+        join_id = join_point.node_id if join_point is not None else -1
+        joined = {}
+        for name in set(left) | set(right):
+            left_witness = left.get(name)
+            right_witness = right.get(name)
+            if left_witness is None or right_witness is None:
+                continue
+            if left_witness == right_witness:
+                joined[name] = left_witness
+            else:
+                # Disagreement: the variable still refers to *some* single
+                # object on each path, but not provably the same one.  The
+                # witness is keyed by the join point plus the *flattened*
+                # set of contributing base witnesses, so repeated joins
+                # around loops converge instead of nesting unboundedly.
+                joined[name] = (
+                    "join",
+                    name,
+                    join_id,
+                    _leaf_witnesses(left_witness) | _leaf_witnesses(right_witness),
+                )
+        return joined
+
+    def transfer(self, node, fact, edge_label=None):
+        if fact is None:
+            return None
+        if node.kind != "instr":
+            return fact
+        instr = node.instr
+        if isinstance(instr, ir.Assign):
+            new_fact = dict(fact)
+            source = instr.source
+            if isinstance(source, ir.UseVar):
+                witness = fact.get(source.name)
+                if witness is None:
+                    witness = ("def", id(instr))
+                new_fact[instr.target] = witness
+            elif isinstance(source, (ir.NewObj, ir.Call, ir.FieldLoad)):
+                new_fact[instr.target] = ("def", id(instr))
+            else:
+                new_fact[instr.target] = ("scalar", id(instr))
+            return new_fact
+        return fact
+
+    def equals(self, left, right):
+        return left == right
+
+
+class AliasResult:
+    """Queryable wrapper over the dataflow result."""
+
+    def __init__(self, dataflow_result):
+        self._result = dataflow_result
+
+    def must_alias(self, node, var_a, var_b):
+        """True if ``var_a`` and ``var_b`` must alias before ``node``."""
+        fact = self._result.in_facts[node.node_id]
+        if fact is None:
+            return False
+        witness_a = fact.get(var_a)
+        witness_b = fact.get(var_b)
+        return witness_a is not None and witness_a == witness_b
+
+    def witness_before(self, node, var):
+        fact = self._result.in_facts[node.node_id]
+        if fact is None:
+            return None
+        return fact.get(var)
+
+    def witness_after(self, node, var):
+        fact = self._result.out_facts[node.node_id]
+        if fact is None:
+            return None
+        return fact.get(var)
+
+    def alias_class(self, node, var):
+        """All variables that must-alias ``var`` before ``node``."""
+        fact = self._result.in_facts[node.node_id]
+        if fact is None:
+            return {var}
+        witness = fact.get(var)
+        if witness is None:
+            return {var}
+        return {name for name, value in fact.items() if value == witness}
+
+
+def analyze_aliases(cfg, params):
+    """Run must-alias analysis on a CFG; returns an :class:`AliasResult`."""
+    analysis = MustAliasAnalysis(params)
+    return AliasResult(analysis.run(cfg))

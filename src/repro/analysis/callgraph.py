@@ -1,0 +1,113 @@
+"""Whole-program call graph over resolved methods.
+
+ANEK-INFER's worklist needs to know, when a method summary changes, which
+callers depend on it.  The call graph maps each method to its call sites
+and supports reverse (callee -> callers) queries.  Resolution is static:
+calls dispatch on the receiver's static type, matching the paper's
+analysis (PLURAL specs attach to static types and supertype specs apply
+to subtypes).
+"""
+
+from repro.analysis import ir
+from repro.analysis.ir import lower_method
+
+
+class CallSite:
+    """One call site: caller method, callee method, and the IR call."""
+
+    __slots__ = ("caller", "callee", "call", "line")
+
+    def __init__(self, caller, callee, call, line):
+        self.caller = caller
+        self.callee = callee
+        self.call = call
+        self.line = line
+
+    def __repr__(self):
+        return "CallSite(%s -> %s @%d)" % (
+            self.caller.qualified_name,
+            self.callee.qualified_name if self.callee else "?",
+            self.line,
+        )
+
+
+class CallGraph:
+    """Caller/callee indexes over the whole program."""
+
+    def __init__(self):
+        self.sites = []
+        self._by_caller = {}
+        self._by_callee = {}
+
+    def add(self, site):
+        self.sites.append(site)
+        self._by_caller.setdefault(site.caller, []).append(site)
+        if site.callee is not None:
+            self._by_callee.setdefault(site.callee, []).append(site)
+
+    def callees_of(self, method_ref):
+        """Call sites inside ``method_ref``."""
+        return self._by_caller.get(method_ref, [])
+
+    def callers_of(self, method_ref):
+        """Call sites that invoke ``method_ref``."""
+        return self._by_callee.get(method_ref, [])
+
+    def caller_methods_of(self, method_ref):
+        """Distinct methods that call ``method_ref``."""
+        seen = []
+        for site in self.callers_of(method_ref):
+            if site.caller not in seen:
+                seen.append(site.caller)
+        return seen
+
+
+def build_call_graph(program, lowered_methods=None):
+    """Build the call graph.
+
+    ``lowered_methods`` optionally maps MethodRef -> LoweredMethod to reuse
+    existing lowering work; otherwise methods are lowered on demand.
+    """
+    graph = CallGraph()
+    for caller_ref in program.methods_with_bodies():
+        if lowered_methods is not None and caller_ref in lowered_methods:
+            lowered = lowered_methods[caller_ref]
+        else:
+            lowered = lower_method(
+                program, caller_ref.class_decl, caller_ref.method_decl
+            )
+        for instr in iter_instrs(lowered.body):
+            if isinstance(instr, ir.Assign) and isinstance(instr.source, ir.Call):
+                call = instr.source
+                callee = None
+                if call.static_class is not None:
+                    callee = program.resolve_method(
+                        call.static_class, call.method_name, len(call.args)
+                    )
+                graph.add(CallSite(caller_ref, callee, call, instr.line))
+            elif isinstance(instr, ir.Assign) and isinstance(instr.source, ir.NewObj):
+                callee = program.resolve_constructor(
+                    instr.source.class_name, len(instr.source.args)
+                )
+                if callee is not None:
+                    graph.add(CallSite(caller_ref, callee, instr.source, instr.line))
+    return graph
+
+
+def iter_instrs(block):
+    """Yield every IR instruction in a lowered block tree."""
+    for item in block.items:
+        if isinstance(item, ir.Instr):
+            yield item
+        elif isinstance(item, ir.LoweredIf):
+            for instr in iter_instrs(item.then_block):
+                yield instr
+            for instr in iter_instrs(item.else_block):
+                yield instr
+        elif isinstance(item, ir.LoweredLoop):
+            for instr in iter_instrs(item.header):
+                yield instr
+            for instr in iter_instrs(item.body):
+                yield instr
+            for instr in iter_instrs(item.update):
+                yield instr

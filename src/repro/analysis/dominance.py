@@ -1,0 +1,159 @@
+"""Dominator analysis and natural-loop detection.
+
+Implements the Cooper–Harvey–Kennedy iterative dominator algorithm over
+CFGs, plus derived structure: dominator tree children, dominance
+queries, back-edge identification (a proper definition to replace
+RPO-order approximations) and natural loops with their bodies.
+
+Used by the protocol miner's path enumeration and available to any
+client analysis that needs loop structure.
+"""
+
+from repro.analysis.cfg import CFG
+
+
+class DominatorTree:
+    """Immediate dominators and derived queries for one CFG."""
+
+    def __init__(self, cfg):
+        self.cfg = cfg
+        self._rpo = cfg.reverse_postorder()
+        self._order = {
+            node.node_id: index for index, node in enumerate(self._rpo)
+        }
+        self._nodes = {node.node_id: node for node in cfg.nodes}
+        self.idom = self._compute()
+        self._depth = self._compute_depths()
+
+    def _compute_depths(self):
+        """Depth of each node in the dominator tree (entry = 0)."""
+        depths = {self.cfg.entry.node_id: 0}
+
+        def depth_of(node_id):
+            if node_id in depths:
+                return depths[node_id]
+            chain = []
+            current = node_id
+            while current not in depths:
+                chain.append(current)
+                parent = self.idom.get(current)
+                if parent is None or parent == current:
+                    depths[current] = 0
+                    break
+                current = parent
+            base = depths.get(current, 0)
+            for offset, item in enumerate(reversed(chain)):
+                depths[item] = base + offset + 1
+            return depths[node_id]
+
+        for node_id in self.idom:
+            depth_of(node_id)
+        return depths
+
+    # -- construction (Cooper-Harvey-Kennedy) ------------------------------------
+
+    def _compute(self):
+        entry = self.cfg.entry
+        idom = {entry.node_id: entry.node_id}
+        changed = True
+        while changed:
+            changed = False
+            for node in self._rpo:
+                if node is entry:
+                    continue
+                candidates = [
+                    pred
+                    for pred, _ in node.preds
+                    if pred.node_id in idom
+                ]
+                if not candidates:
+                    continue
+                new_idom = candidates[0]
+                for pred in candidates[1:]:
+                    new_idom = self._intersect(pred, new_idom, idom)
+                if idom.get(node.node_id) != new_idom.node_id:
+                    idom[node.node_id] = new_idom.node_id
+                    changed = True
+        return idom
+
+    def _intersect(self, a, b, idom):
+        nodes = self._nodes
+        finger_a, finger_b = a, b
+        while finger_a.node_id != finger_b.node_id:
+            while self._order.get(finger_a.node_id, 0) > self._order.get(
+                finger_b.node_id, 0
+            ):
+                finger_a = nodes[idom[finger_a.node_id]]
+            while self._order.get(finger_b.node_id, 0) > self._order.get(
+                finger_a.node_id, 0
+            ):
+                finger_b = nodes[idom[finger_b.node_id]]
+        return finger_a
+
+    # -- queries ----------------------------------------------------------------
+
+    def immediate_dominator(self, node):
+        """The unique immediate dominator (entry dominates itself)."""
+        dominator_id = self.idom.get(node.node_id)
+        if dominator_id is None:
+            return None
+        return self._nodes.get(dominator_id)
+
+    def dominates(self, dominator, node):
+        """Reflexive dominance: does ``dominator`` dominate ``node``?
+
+        Walks the dominator-tree ancestor chain from ``node`` up to the
+        depth of ``dominator`` — O(tree height), dictionary lookups only.
+        """
+        if node.node_id not in self.idom:
+            return False
+        target_depth = self._depth.get(dominator.node_id)
+        if target_depth is None:
+            return False
+        current = node.node_id
+        depth = self._depth.get(current, 0)
+        while depth > target_depth:
+            parent = self.idom.get(current)
+            if parent is None or parent == current:
+                break
+            current = parent
+            depth -= 1
+        return current == dominator.node_id
+
+    def back_edges(self):
+        """Edges (tail, head) whose head dominates their tail."""
+        edges = []
+        for node in self.cfg.nodes:
+            if node.node_id not in self.idom:
+                continue  # unreachable
+            for succ, _ in node.succs:
+                if succ.node_id in self.idom and self.dominates(succ, node):
+                    edges.append((node, succ))
+        return edges
+
+    def natural_loops(self):
+        """{header node_id: set of body node_ids} for each natural loop."""
+        loops = {}
+        for tail, header in self.back_edges():
+            body = loops.setdefault(header.node_id, {header.node_id})
+            stack = [tail]
+            while stack:
+                node = stack.pop()
+                if node.node_id in body:
+                    continue
+                body.add(node.node_id)
+                stack.extend(pred for pred, _ in node.preds)
+        return loops
+
+    def loop_depth(self, node):
+        """How many natural loops contain ``node``."""
+        return sum(
+            1
+            for body in self.natural_loops().values()
+            if node.node_id in body
+        )
+
+
+def build_dominator_tree(cfg):
+    """Compute the dominator tree of a CFG."""
+    return DominatorTree(cfg)

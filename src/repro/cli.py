@@ -1,0 +1,236 @@
+"""Command-line interface: the ANEK tool as a user would run it.
+
+    python -m repro infer  FILE...    infer @Perm specs, print annotated source
+    python -m repro check  FILE...    run the PLURAL checker, print warnings
+    python -m repro pfg    FILE CLASS.METHOD   print a method's PFG (DOT)
+    python -m repro table  {1,2,3,4}  regenerate a paper table
+    python -m repro figure {1,4,6,10} regenerate a paper figure
+
+``infer`` and ``check`` accept ``--api`` to prepend the annotated
+Iterator API (on by default) and ``--threshold``/``--max-iters`` to tune
+extraction and the worklist.
+"""
+
+import argparse
+import sys
+
+from repro.core import AnekPipeline, InferenceSettings
+from repro.corpus.iterator_api import ITERATOR_API_SOURCE
+from repro.java.parser import parse_compilation_unit
+from repro.java.symbols import MethodRef, resolve_program
+from repro.plural.checker import check_program
+
+
+def _read_sources(paths, include_api):
+    sources = []
+    if include_api:
+        sources.append(ITERATOR_API_SOURCE)
+    for path in paths:
+        with open(path) as handle:
+            sources.append(handle.read())
+    return sources
+
+
+def cmd_infer(args, out):
+    settings = InferenceSettings(
+        threshold=args.threshold, max_worklist_iters=args.max_iters
+    )
+    pipeline = AnekPipeline(settings=settings)
+    result = pipeline.run_on_sources(_read_sources(args.files, args.api))
+    print(result.describe_stages(), file=out)
+    print("", file=out)
+    print("Inferred specifications:", file=out)
+    for ref, spec in sorted(
+        result.specs.items(), key=lambda kv: kv[0].qualified_name
+    ):
+        if spec.is_empty:
+            continue
+        print("  %-32s %s" % (ref.qualified_name, spec), file=out)
+    print("", file=out)
+    print("PLURAL warnings: %d" % len(result.warnings), file=out)
+    for warning in result.warnings:
+        print("  " + warning.format(), file=out)
+    if args.emit_source:
+        for source in result.annotated_sources:
+            print("", file=out)
+            print(source, file=out)
+    return 0
+
+
+def cmd_check(args, out):
+    program = resolve_program(
+        [
+            parse_compilation_unit(source)
+            for source in _read_sources(args.files, args.api)
+        ]
+    )
+    warnings = check_program(program)
+    for warning in warnings:
+        print(warning.format(), file=out)
+    print("%d warning(s)" % len(warnings), file=out)
+    return 0 if not warnings else 1
+
+
+def cmd_pfg(args, out):
+    from repro.core.pfg_builder import build_pfg
+
+    program = resolve_program(
+        [
+            parse_compilation_unit(source)
+            for source in _read_sources(args.files, args.api)
+        ]
+    )
+    class_name, _, method_name = args.method.partition(".")
+    decl = program.lookup_class(class_name)
+    if decl is None:
+        print("error: unknown class %r" % class_name, file=sys.stderr)
+        return 2
+    methods = decl.find_method(method_name)
+    if not methods:
+        print(
+            "error: no method %r in %s" % (method_name, class_name),
+            file=sys.stderr,
+        )
+        return 2
+    pfg = build_pfg(program, MethodRef(decl, methods[0]))
+    if args.dot:
+        print(pfg.to_dot(), file=out)
+    else:
+        print(pfg.describe(), file=out)
+    return 0
+
+
+def cmd_explain(args, out):
+    from repro.core.diagnostics import explain_method
+
+    program = resolve_program(
+        [
+            parse_compilation_unit(source)
+            for source in _read_sources(args.files, args.api)
+        ]
+    )
+    class_name, _, method_name = args.method.partition(".")
+    decl = program.lookup_class(class_name)
+    if decl is None:
+        print("error: unknown class %r" % class_name, file=sys.stderr)
+        return 2
+    methods = decl.find_method(method_name)
+    if not methods:
+        print(
+            "error: no method %r in %s" % (method_name, class_name),
+            file=sys.stderr,
+        )
+        return 2
+    diagnostics = explain_method(
+        program, MethodRef(decl, methods[0]), threshold=args.threshold
+    )
+    print(diagnostics.render(), file=out)
+    return 0
+
+
+def cmd_table(args, out):
+    from repro.corpus import CorpusSpec
+    from repro.reporting.experiments import PmdExperiment, table3_experiment
+
+    if args.number == 3:
+        result = table3_experiment(methods=args.methods)
+        print(result.table.render(), file=out)
+        return 0
+    spec = CorpusSpec() if args.full else CorpusSpec().scaled(args.scale)
+    experiment = PmdExperiment(corpus_spec=spec)
+    if args.number == 1:
+        _, table = experiment.table1()
+    elif args.number == 2:
+        _, table = experiment.table2()
+    else:
+        _, table = experiment.table4()
+    print(table.render(), file=out)
+    return 0
+
+
+def cmd_figure(args, out):
+    from repro.reporting.experiments import (
+        figure1_protocol,
+        figure4_kinds,
+        figure6_pfg,
+        figure10_pipeline_trace,
+    )
+
+    if args.number == 1:
+        print(figure1_protocol(), file=out)
+    elif args.number == 4:
+        print(figure4_kinds().render(), file=out)
+    elif args.number == 6:
+        pfg = figure6_pfg()
+        print(pfg.describe(), file=out)
+        print("", file=out)
+        print(pfg.to_dot(), file=out)
+    else:
+        print(figure10_pipeline_trace(), file=out)
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ANEK: probabilistic inference of typestate specifications",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    infer = sub.add_parser("infer", help="infer @Perm specs for Java sources")
+    infer.add_argument("files", nargs="+")
+    infer.add_argument("--no-api", dest="api", action="store_false",
+                       help="do not prepend the annotated Iterator API")
+    infer.add_argument("--threshold", type=float, default=0.5,
+                       help="extraction threshold t in [0.5, 1)")
+    infer.add_argument("--max-iters", type=int, default=0,
+                       help="worklist iteration cap (0 = 3 passes)")
+    infer.add_argument("--emit-source", action="store_true",
+                       help="print the annotated sources")
+    infer.set_defaults(run=cmd_infer)
+
+    check = sub.add_parser("check", help="run the PLURAL checker")
+    check.add_argument("files", nargs="+")
+    check.add_argument("--no-api", dest="api", action="store_false")
+    check.set_defaults(run=cmd_check)
+
+    pfg = sub.add_parser("pfg", help="print a method's permission flow graph")
+    pfg.add_argument("files", nargs="+")
+    pfg.add_argument("method", help="Class.method")
+    pfg.add_argument("--no-api", dest="api", action="store_false")
+    pfg.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+    pfg.set_defaults(run=cmd_pfg)
+
+    explain = sub.add_parser(
+        "explain", help="explain why a method's spec was inferred"
+    )
+    explain.add_argument("files", nargs="+")
+    explain.add_argument("method", help="Class.method")
+    explain.add_argument("--no-api", dest="api", action="store_false")
+    explain.add_argument("--threshold", type=float, default=0.5)
+    explain.set_defaults(run=cmd_explain)
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", type=int, choices=(1, 2, 3, 4))
+    table.add_argument("--full", action="store_true",
+                       help="paper-scale corpus (tables 1/2/4)")
+    table.add_argument("--scale", type=float, default=0.1)
+    table.add_argument("--methods", type=int, default=24,
+                       help="branchy-program size (table 3)")
+    table.set_defaults(run=cmd_table)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", type=int, choices=(1, 4, 6, 10))
+    figure.set_defaults(run=cmd_figure)
+
+    return parser
+
+
+def main(argv=None, out=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.run(args, out or sys.stdout)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

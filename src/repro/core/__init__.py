@@ -1,0 +1,31 @@
+"""ANEK: probabilistic, modular inference of typestate specifications.
+
+The paper's primary contribution.  Submodules follow the paper's
+structure:
+
+* ``pfg``         — the Permission Flow Graph abstraction (§3.1)
+* ``pfg_builder`` — PFG construction from CFG + must-alias analysis
+* ``heuristics``  — tunable heuristic configuration (H1–H5)
+* ``priors``      — prior distributions from existing specs (§3.2)
+* ``constraints`` — logical (L1–L3) and heuristic (H1–H5) constraints (§3.3)
+* ``model``       — per-method probabilistic models (Definition 1)
+* ``summaries``   — probabilistic method summaries
+* ``infer``       — the ANEK-INFER modular worklist algorithm (Figure 9)
+* ``extract``     — thresholding marginals into deterministic specs
+* ``applier``     — writing inferred ``@Perm`` annotations back to source
+* ``logical``     — the "Anek Logical" deterministic baseline (§4.2)
+* ``pipeline``    — the end-to-end driver (Figure 10)
+"""
+
+from repro.core.heuristics import HeuristicConfig
+from repro.core.infer import AnekInference, InferenceSettings
+from repro.core.pipeline import AnekPipeline, PipelineResult, infer_and_check
+
+__all__ = [
+    "HeuristicConfig",
+    "AnekInference",
+    "InferenceSettings",
+    "AnekPipeline",
+    "PipelineResult",
+    "infer_and_check",
+]

@@ -1,0 +1,119 @@
+"""Spec extraction: thresholding marginals (paper Figure 9, lines 22-29).
+
+For every boundary target the most likely kind (and state) is read off
+the final marginals; values whose probability exceeds the user threshold
+``t ∈ [0.5, 1)`` become deterministic clauses of the emitted
+:class:`repro.permissions.spec.MethodSpec`.  A most-likely kind of
+``none`` means no clause (no permission required/returned).
+"""
+
+from repro.permissions import kinds
+from repro.permissions.spec import MethodSpec, PermClause
+from repro.permissions.states import ALIVE
+
+#: A clause is emitted only when the no-permission mass has been pushed
+#: below the uniform level (1/6 ≈ 0.167) by actual evidence.
+NONE_GATE = 0.15
+
+#: Kinds within this factor of the top non-none mass count as plausible.
+PLAUSIBLE_FACTOR = 0.5
+
+
+def _pick(dist, threshold):
+    """(value, prob) of the argmax if above threshold, else None."""
+    if not dist:
+        return None
+    value = max(dist, key=dist.get)
+    prob = dist[value]
+    if prob < threshold:
+        return None
+    return value, prob
+
+
+def pick_kind(kind_dist, none_gate=NONE_GATE):
+    """Choose the clause kind from a kind marginal, or None.
+
+    The categorical marginal spreads demand across every satisfying kind
+    (a demand for ``pure`` makes all five kinds plausible; a demand for
+    ``full`` leaves only unique/full).  The idiomatic clause is the
+    *weakest* kind in the plausible set — exactly the weakest-demand /
+    strongest-when-concentrated behaviour of the paper's per-kind
+    Bernoulli thresholds.
+    """
+    if not kind_dist:
+        return None
+    if kind_dist.get("none", 0.0) >= none_gate:
+        return None
+    masses = {
+        kind: kind_dist.get(kind, 0.0) for kind in kinds.ALL_KINDS
+    }
+    top = max(masses.values())
+    if top <= 0.0:
+        return None
+    plausible = [
+        kind
+        for kind in kinds.ALL_KINDS
+        if masses[kind] >= PLAUSIBLE_FACTOR * top
+    ]
+    return kinds.weakest(plausible)
+
+
+def clause_from_marginal(target, marginal, threshold, none_gate=NONE_GATE):
+    """Build a PermClause from a TargetMarginal, or None."""
+    if marginal is None or marginal.kind is None:
+        return None
+    kind = pick_kind(marginal.kind, none_gate=none_gate)
+    if kind is None:
+        return None
+    state = ALIVE
+    if marginal.state is not None:
+        state_picked = _pick(marginal.state, threshold)
+        if state_picked is not None:
+            state = state_picked[0]
+    return PermClause(kind, target, state)
+
+
+def extract_method_spec(boundary, threshold):
+    """Build a MethodSpec from one method's boundary marginals."""
+    spec = MethodSpec()
+    for (slot, target), marginal in sorted(
+        boundary.items(), key=lambda item: (item[0][0], str(item[0][1]))
+    ):
+        clause = clause_from_marginal(target, marginal, threshold)
+        if clause is None:
+            continue
+        if slot == "pre":
+            spec.requires.append(clause)
+        else:  # post and result both land in ensures
+            spec.ensures.append(clause)
+    return spec
+
+
+def extract_program_specs(program, results, spec_env, threshold=0.5,
+                          keep_existing=True):
+    """Extract specs for every inferred method.
+
+    ``results`` maps MethodRef -> boundary marginals.  When
+    ``keep_existing`` is set, methods that already carry a declared spec
+    keep it (the paper's workflow: API specs are authoritative; ANEK
+    fills in the client code).
+    """
+    specs = {}
+    for method_ref, boundary in results.items():
+        if keep_existing and spec_env.is_directly_annotated(method_ref):
+            specs[method_ref] = spec_env.spec_of(method_ref)
+            continue
+        specs[method_ref] = extract_method_spec(boundary, threshold)
+    return specs
+
+
+def count_nonempty(specs):
+    """Number of methods that received a non-empty spec."""
+    return sum(1 for spec in specs.values() if not spec.is_empty)
+
+
+def count_clauses(specs):
+    """Total clause count across all specs (annotation volume)."""
+    return sum(
+        len(spec.requires) + len(spec.ensures) for spec in specs.values()
+    )

@@ -1,0 +1,174 @@
+"""ANEK-INFER: the modular worklist inference algorithm (paper Figure 9).
+
+For every method a PFG and a probabilistic model are built; the worklist
+then repeatedly picks a method, applies the current callee summaries at
+its call sites, SOLVEs the model with loopy BP, and — if the method's
+summary changed — re-enqueues its dependents.  The loop runs for at most
+``max_worklist_iters`` model solves (the paper: "it suffices to run the
+inference algorithm for a fixed number of iterations without reaching a
+fixpoint"), trading accuracy against scalability.
+"""
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.analysis.callgraph import build_call_graph
+from repro.core.heuristics import HeuristicConfig
+from repro.core.model import MethodModel
+from repro.core.pfg_builder import build_pfg
+from repro.core.priors import SpecEnvironment
+from repro.core.summaries import (
+    SummaryStore,
+    clip_marginal,
+    satisfaction_evidence,
+)
+
+
+@dataclass
+class InferenceSettings:
+    """Knobs of ANEK-INFER."""
+
+    max_worklist_iters: int = 0  # 0 = 3 passes over all methods
+    bp_iters: int = 30
+    bp_damping: float = 0.2
+    bp_tolerance: float = 1e-4
+    threshold: float = 0.5  # the paper's t in [0.5, 1)
+    summary_change_threshold: float = 0.02
+
+    def resolved_max_iters(self, method_count):
+        if self.max_worklist_iters > 0:
+            return self.max_worklist_iters
+        return 3 * max(method_count, 1)
+
+
+@dataclass
+class InferenceStats:
+    """Bookkeeping for the evaluation tables."""
+
+    methods: int = 0
+    solves: int = 0
+    elapsed_seconds: float = 0.0
+    pfg_nodes: int = 0
+    factors: int = 0
+    constraint_counts: dict = field(default_factory=dict)
+
+
+class AnekInference:
+    """The ANEK-INFER procedure over a resolved program."""
+
+    def __init__(self, program, config=None, settings=None):
+        self.program = program
+        self.config = config or HeuristicConfig()
+        self.settings = settings or InferenceSettings()
+        self.spec_env = SpecEnvironment(program)
+        self.summaries = SummaryStore(
+            change_threshold=self.settings.summary_change_threshold
+        )
+        self.pfgs = {}
+        self.stats = InferenceStats()
+        self._callers_of = {}
+
+    # -- initialization (Figure 9 lines 1-7) -------------------------------------
+
+    def _initialize(self):
+        methods = list(self.program.methods_with_bodies())
+        self.stats.methods = len(methods)
+        for method_ref in methods:
+            pfg = build_pfg(self.program, method_ref)
+            self.pfgs[method_ref] = pfg
+            self.stats.pfg_nodes += pfg.node_count()
+        call_graph = build_call_graph(self.program)
+        for method_ref in methods:
+            self._callers_of[method_ref] = [
+                caller
+                for caller in call_graph.caller_methods_of(method_ref)
+                if caller in self.pfgs
+            ]
+        return methods
+
+    # -- the worklist loop (Figure 9 lines 8-21) ----------------------------------
+
+    def run(self):
+        """Run inference; returns {method_ref: boundary marginals dict}."""
+        start = time.perf_counter()
+        methods = self._initialize()
+        worklist = deque(methods)
+        queued = set(methods)
+        max_iters = self.settings.resolved_max_iters(len(methods))
+        results = {}
+        count = 0
+        while worklist and count < max_iters:
+            count += 1
+            method_ref = worklist.popleft()  # CHOOSE(W)
+            queued.discard(method_ref)
+            changed_methods = self._solve_one(method_ref, results)
+            for dependent in changed_methods:
+                if dependent not in queued and dependent in self.pfgs:
+                    queued.add(dependent)
+                    worklist.append(dependent)
+        self.stats.solves = count
+        self.stats.elapsed_seconds = time.perf_counter() - start
+        return results
+
+    def _solve_one(self, method_ref, results):
+        """Build + SOLVE one method's model; returns methods to re-enqueue."""
+        pfg = self.pfgs[method_ref]
+        model = MethodModel(
+            self.program,
+            pfg,
+            self.config,
+            spec_env=self.spec_env,
+            summary_store=self.summaries,
+        ).build()
+        self.stats.factors += model.graph.factor_count
+        for rule, count in model.generator.counts.items():
+            self.stats.constraint_counts[rule] = (
+                self.stats.constraint_counts.get(rule, 0) + count
+            )
+        result = model.solve(
+            max_iters=self.settings.bp_iters,
+            damping=self.settings.bp_damping,
+            tolerance=self.settings.bp_tolerance,
+        )
+        boundary = model.boundary_marginals(result)
+        results[method_ref] = boundary
+        to_enqueue = []
+        # UPDATESUMMARY: store our own boundary marginals.
+        own_changed = False
+        for (slot, target), marginal in boundary.items():
+            capped = clip_marginal(marginal, self.config.summary_confidence)
+            if self.summaries.update(method_ref, slot, target, capped):
+                own_changed = True
+        if own_changed:
+            to_enqueue.extend(self._callers_of.get(method_ref, []))
+            to_enqueue.append(method_ref)
+        # Deposit demand evidence into unannotated callees.  Precondition
+        # kind evidence is satisfaction-transformed: callers veto only
+        # requirements they could not meet.
+        for callee, slot, target, site_key, marginal in model.callsite_marginals(
+            result
+        ):
+            if slot == "pre":
+                marginal = satisfaction_evidence(marginal)
+            capped = clip_marginal(marginal, self.config.summary_confidence)
+            if self.summaries.deposit_evidence(
+                callee, slot, target, site_key, capped
+            ):
+                if callee in self.pfgs:
+                    to_enqueue.append(callee)
+        return to_enqueue
+
+    # -- spec extraction (Figure 9 lines 22-29) ---------------------------------------
+
+    def extract_specs(self, results=None):
+        from repro.core.extract import extract_program_specs
+
+        if results is None:
+            results = self.run()
+        return extract_program_specs(
+            self.program,
+            results,
+            self.spec_env,
+            threshold=self.settings.threshold,
+        )

@@ -1,0 +1,314 @@
+"""Per-method probabilistic models (paper Definition 1).
+
+``MethodModel`` assembles the factor graph Φ_m for one method: variables
+for every PFG node, priors from declared specs (§3.2), logical and
+heuristic constraints (§3.3), callee summaries applied at call-site
+boundary nodes (APPLYSUMMARY), and caller evidence attached to the
+method's own boundary nodes.
+"""
+
+import numpy as np
+
+from repro.core.constraints import ConstraintGenerator
+from repro.core.pfg import PFGNodeKind
+from repro.core.priors import (
+    KIND_DOMAIN,
+    SpecEnvironment,
+    boundary_priors,
+)
+from repro.factorgraph.factors import Factor
+from repro.factorgraph.graph import FactorGraph
+from repro.permissions.states import state_space_of_class
+
+
+class NodeVariables:
+    """Creates and caches the kind/state variables of PFG nodes."""
+
+    def __init__(self, graph, program):
+        self.graph = graph
+        self.program = program
+        self._state_domains = {}
+        self._kind_vars = {}
+        self._state_vars = {}
+
+    def state_domain(self, class_name):
+        """The state domain for a class; None when no protocol declared."""
+        if class_name is None:
+            return None
+        if class_name not in self._state_domains:
+            decl = self.program.lookup_class(class_name)
+            domain = None
+            if decl is not None:
+                space = state_space_of_class(decl)
+                if len(space.states) > 1:
+                    domain = tuple(space.states)
+            self._state_domains[class_name] = domain
+        return self._state_domains[class_name]
+
+    def kind(self, node):
+        if node.node_id not in self._kind_vars:
+            self._kind_vars[node.node_id] = self.graph.add_variable(
+                "n%d.kind" % node.node_id, KIND_DOMAIN
+            )
+        return self._kind_vars[node.node_id]
+
+    def state(self, node):
+        if node.node_id in self._state_vars:
+            return self._state_vars[node.node_id]
+        domain = self.state_domain(node.class_name)
+        variable = None
+        if domain is not None:
+            variable = self.graph.add_variable(
+                "n%d.state" % node.node_id, domain
+            )
+        self._state_vars[node.node_id] = variable
+        return variable
+
+
+def _prior_vector(variable, prior_dict):
+    vector = np.array(
+        [prior_dict.get(value, 0.0) for value in variable.domain]
+    )
+    total = vector.sum()
+    if total <= 0:
+        return variable.uniform()
+    return vector / total
+
+
+class MethodModel:
+    """The factor graph for one method, ready for SOLVE."""
+
+    def __init__(self, program, pfg, config, spec_env=None, summary_store=None):
+        self.program = program
+        self.pfg = pfg
+        self.config = config
+        self.spec_env = spec_env or SpecEnvironment(program)
+        self.summary_store = summary_store
+        self.graph = FactorGraph(
+            name=pfg.method_ref.qualified_name if pfg.method_ref else "model"
+        )
+        self.vars = NodeVariables(self.graph, program)
+        self.generator = ConstraintGenerator(
+            self.graph, pfg, config, self.vars
+        )
+
+    # -- assembly -------------------------------------------------------------------
+
+    def build(self):
+        # Materialize variables for every node first.
+        for node in self.pfg.nodes:
+            self.vars.kind(node)
+            self.vars.state(node)
+        self._apply_own_spec_priors()
+        self._apply_callee_summaries()
+        self._apply_caller_evidence()
+        self.generator.add_logical()
+        self.generator.add_heuristics()
+        return self
+
+    def _set_prior(self, node, kind_prior, state_prior):
+        if kind_prior is not None:
+            variable = self.vars.kind(node)
+            variable.prior = _prior_vector(variable, kind_prior)
+        if state_prior is not None:
+            variable = self.vars.state(node)
+            if variable is not None:
+                variable.prior = _prior_vector(variable, state_prior)
+
+    def _apply_own_spec_priors(self):
+        """Priors on this method's boundary nodes from its own spec."""
+        spec = self.spec_env.spec_of(self.pfg.method_ref)
+        if spec.is_empty:
+            return
+        strength = self.config.spec_prior
+        for target, node in self.pfg.param_pre.items():
+            domain = self.vars.state_domain(node.class_name)
+            kind_prior, state_prior = boundary_priors(
+                spec, target, True, domain, strength
+            )
+            self._set_prior(node, kind_prior, state_prior)
+        for target, node in self.pfg.param_post.items():
+            domain = self.vars.state_domain(node.class_name)
+            kind_prior, state_prior = boundary_priors(
+                spec, target, False, domain, strength
+            )
+            self._set_prior(node, kind_prior, state_prior)
+        if self.pfg.result_node is not None:
+            node = self.pfg.result_node
+            domain = self.vars.state_domain(node.class_name)
+            kind_prior, state_prior = boundary_priors(
+                spec, "result", False, domain, strength
+            )
+            self._set_prior(node, kind_prior, state_prior)
+
+    def _apply_callee_summaries(self):
+        """APPLYSUMMARY: callee specs/summaries become call-node priors."""
+        strength = self.config.spec_prior
+        for site in self.pfg.call_sites:
+            callee = site["callee"]
+            spec = None
+            if callee is not None:
+                spec = self.spec_env.spec_of(callee)
+            annotated = spec is not None and not spec.is_empty
+            for slot, nodes in (("pre", site["pre"]), ("post", site["post"])):
+                for target, node in nodes.items():
+                    domain = self.vars.state_domain(node.class_name)
+                    if annotated:
+                        kind_prior, state_prior = boundary_priors(
+                            spec, target, slot == "pre", domain, strength
+                        )
+                        self._set_prior(node, kind_prior, state_prior)
+                    else:
+                        self._apply_summary_prior(callee, slot, target, node)
+            if site["result"] is not None:
+                node = site["result"]
+                domain = self.vars.state_domain(node.class_name)
+                if annotated:
+                    kind_prior, state_prior = boundary_priors(
+                        spec, "result", False, domain, strength
+                    )
+                    self._set_prior(node, kind_prior, state_prior)
+                else:
+                    self._apply_summary_prior(callee, "result", "result", node)
+
+    def _apply_summary_prior(self, callee, slot, target, node):
+        if self.summary_store is None or callee is None:
+            return
+        summary = self.summary_store.summary_of(callee)
+        marginal = summary.get(slot, target)
+        if marginal is None:
+            return
+        self._set_prior(node, marginal.kind, marginal.state)
+
+    def _apply_caller_evidence(self):
+        """Evidence factors on our boundary nodes from callers' demands."""
+        if self.summary_store is None:
+            return
+        method_ref = self.pfg.method_ref
+        slots = []
+        for target, node in self.pfg.param_pre.items():
+            slots.append(("pre", target, node))
+        for target, node in self.pfg.param_post.items():
+            slots.append(("post", target, node))
+        if self.pfg.result_node is not None:
+            slots.append(("result", "result", self.pfg.result_node))
+        for slot, target, node in slots:
+            evidence = self.summary_store.evidence_for(method_ref, slot, target)
+            if evidence:
+                self._add_evidence_factor(node, evidence, slot, target)
+
+    def _add_evidence_factor(self, node, evidence, slot, target):
+        """One aggregated evidence factor per boundary node.
+
+        Individual site marginals are combined by geometric mean — the
+        *vote direction* of many call sites is preserved (167 ALIVE sites
+        outvote 3 HASNEXT sites) while the factor's overall sharpness
+        stays bounded, preventing runaway feedback across worklist
+        iterations.
+        """
+        kind_votes = [m.kind for m in evidence if m.kind is not None]
+        if kind_votes:
+            variable = self.vars.kind(node)
+            table = self._geometric_mean(variable, kind_votes)
+            self.graph.add_factor(
+                Factor("ev/%s/%s/kind" % (slot, target), [variable], table)
+            )
+        state_votes = [m.state for m in evidence if m.state is not None]
+        if state_votes:
+            variable = self.vars.state(node)
+            if variable is not None:
+                state_votes = [
+                    vote
+                    for vote in state_votes
+                    if len(vote) == len(variable.domain)
+                ]
+                if state_votes:
+                    table = self._geometric_mean(variable, state_votes)
+                    self.graph.add_factor(
+                        Factor(
+                            "ev/%s/%s/state" % (slot, target),
+                            [variable],
+                            table,
+                        )
+                    )
+
+    @staticmethod
+    def _geometric_mean(variable, votes):
+        logs = np.zeros(variable.cardinality)
+        for vote in votes:
+            vector = np.array(
+                [max(vote.get(value, 0.0), 1e-6) for value in variable.domain]
+            )
+            logs += np.log(vector / vector.sum())
+        table = np.exp(logs / len(votes))
+        return table / table.sum()
+
+    # -- solving ----------------------------------------------------------------------
+
+    def solve(self, max_iters=40, damping=0.1, tolerance=1e-6):
+        from repro.factorgraph.sumproduct import run_sum_product
+
+        return run_sum_product(
+            self.graph,
+            max_iters=max_iters,
+            damping=damping,
+            tolerance=tolerance,
+        )
+
+    def boundary_marginals(self, result):
+        """Extract TargetMarginals for this method's boundary nodes."""
+        from repro.core.summaries import marginal_from_result
+
+        marginals = {}
+        for target, node in self.pfg.param_pre.items():
+            marginals[("pre", target)] = marginal_from_result(
+                result, self.vars.kind(node), self.vars.state(node)
+            )
+        for target, node in self.pfg.param_post.items():
+            marginals[("post", target)] = marginal_from_result(
+                result, self.vars.kind(node), self.vars.state(node)
+            )
+        if self.pfg.result_node is not None:
+            node = self.pfg.result_node
+            marginals[("result", "result")] = marginal_from_result(
+                result, self.vars.kind(node), self.vars.state(node)
+            )
+        return marginals
+
+    def callsite_marginals(self, result):
+        """Marginals at call-site boundary nodes, for evidence deposits.
+
+        Yields (callee, slot, target, site_key, TargetMarginal) for calls
+        into *unannotated* program methods.
+        """
+        from repro.core.summaries import marginal_from_result
+
+        for index, site in enumerate(self.pfg.call_sites):
+            callee = site["callee"]
+            if callee is None:
+                continue
+            if self.spec_env.is_annotated(callee):
+                continue
+            site_key = (self.pfg.method_ref, index)
+            for slot, nodes in (("pre", site["pre"]), ("post", site["post"])):
+                for target, node in nodes.items():
+                    yield (
+                        callee,
+                        slot,
+                        target,
+                        site_key,
+                        marginal_from_result(
+                            result, self.vars.kind(node), self.vars.state(node)
+                        ),
+                    )
+            if site["result"] is not None:
+                node = site["result"]
+                yield (
+                    callee,
+                    "result",
+                    "result",
+                    site_key,
+                    marginal_from_result(
+                        result, self.vars.kind(node), self.vars.state(node)
+                    ),
+                )

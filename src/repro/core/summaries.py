@@ -1,0 +1,179 @@
+"""Probabilistic method summaries (paper §3.4).
+
+A summary holds, for each boundary target of a method (``this`` and each
+parameter, pre and post, plus ``result``), the current marginal
+distribution of its kind and state variables.  Summaries are the *only*
+channel of information between per-method models, which is what makes
+ANEK-INFER modular:
+
+* ``APPLYSUMMARY`` — a callee's summary becomes priors on the call-site
+  boundary nodes inside the caller's model;
+* callers in turn deposit *evidence* (their marginals for those call-site
+  nodes) into the callee's summary store, so demand flows back — this is
+  how the paper's createColIter example aggregates the 167 ALIVE votes
+  against the 3 HASNEXT votes.
+"""
+
+import numpy as np
+
+
+def _as_dict(domain, vector):
+    return {value: float(p) for value, p in zip(domain, vector)}
+
+
+def _max_delta(old, new):
+    if old is None:
+        return 1.0
+    keys = set(old) | set(new)
+    return max(abs(old.get(key, 0.0) - new.get(key, 0.0)) for key in keys)
+
+
+class TargetMarginal:
+    """Marginals for one boundary node: kind and (optional) state."""
+
+    __slots__ = ("kind", "state")
+
+    def __init__(self, kind=None, state=None):
+        self.kind = kind  # dict value -> prob, or None
+        self.state = state  # dict value -> prob, or None
+
+    def delta(self, other):
+        if other is None:
+            return 1.0
+        deltas = []
+        if self.kind is not None or other.kind is not None:
+            deltas.append(_max_delta(other.kind, self.kind or {}))
+        if self.state is not None or other.state is not None:
+            deltas.append(_max_delta(other.state, self.state or {}))
+        return max(deltas) if deltas else 0.0
+
+
+class MethodSummary:
+    """The probabilistic summary of one method."""
+
+    def __init__(self, method_ref):
+        self.method_ref = method_ref
+        self.pre = {}  # target -> TargetMarginal
+        self.post = {}  # target -> TargetMarginal
+        self.result = None  # TargetMarginal or None
+
+    def get(self, slot, target):
+        if slot == "pre":
+            return self.pre.get(target)
+        if slot == "post":
+            return self.post.get(target)
+        if slot == "result":
+            return self.result
+        raise ValueError("unknown summary slot %r" % slot)
+
+    def set(self, slot, target, marginal):
+        """Store a marginal; returns the change magnitude."""
+        old = self.get(slot, target)
+        delta = marginal.delta(old)
+        if slot == "pre":
+            self.pre[target] = marginal
+        elif slot == "post":
+            self.post[target] = marginal
+        else:
+            self.result = marginal
+        return delta
+
+
+class SummaryStore:
+    """All summaries plus cross-method caller evidence."""
+
+    def __init__(self, change_threshold=1e-3):
+        self.change_threshold = change_threshold
+        self._summaries = {}
+        # (callee, slot, target) -> {site_key: TargetMarginal}
+        self._evidence = {}
+
+    def summary_of(self, method_ref):
+        if method_ref not in self._summaries:
+            self._summaries[method_ref] = MethodSummary(method_ref)
+        return self._summaries[method_ref]
+
+    def update(self, method_ref, slot, target, marginal):
+        """UPDATESUMMARY: store and report whether it changed materially."""
+        summary = self.summary_of(method_ref)
+        delta = summary.set(slot, target, marginal)
+        return delta > self.change_threshold
+
+    def deposit_evidence(self, callee, slot, target, site_key, marginal):
+        """Record a caller's marginal for one of the callee's boundary
+        nodes; returns True when it changed materially."""
+        bucket = self._evidence.setdefault((callee, slot, target), {})
+        old = bucket.get(site_key)
+        delta = marginal.delta(old)
+        bucket[site_key] = marginal
+        return delta > self.change_threshold
+
+    def evidence_for(self, callee, slot, target):
+        """All deposited caller marginals for one boundary node."""
+        return list(self._evidence.get((callee, slot, target), {}).values())
+
+    def evidence_count(self):
+        return sum(len(bucket) for bucket in self._evidence.values())
+
+
+def marginal_from_result(result, kind_var, state_var):
+    """Build a TargetMarginal from a BP result's variable marginals."""
+    kind = None
+    state = None
+    if kind_var is not None:
+        kind = _as_dict(kind_var.domain, result.marginals[kind_var.name])
+    if state_var is not None:
+        state = _as_dict(state_var.domain, result.marginals[state_var.name])
+    return TargetMarginal(kind=kind, state=state)
+
+
+def satisfaction_evidence(marginal):
+    """Transform a caller's supply marginal into precondition evidence.
+
+    A caller holding kind ``s`` can discharge any required kind ``k``
+    with ``s ⊒ k``, and has no objection at all to requiring nothing.
+    The evidence for the callee's pre-node value ``k`` is therefore the
+    probability that the caller's supply satisfies ``k``:
+
+        f(k)    = Σ_{s satisfies k} m(s)        f(none) = 1
+
+    This keeps demand inference driven by the callee's *body* (the paper's
+    logical constraints) while callers only veto requirements they could
+    not meet — and prevents the weak-kind echo that raw supply marginals
+    would feed back.  State evidence stays raw: state votes are the
+    ALIVE-vs-HASNEXT counting of the paper's introduction.
+    """
+    from repro.permissions import kinds as kind_rules
+
+    if marginal.kind is None:
+        return marginal
+    supply = marginal.kind
+    evidence = {}
+    for required in kind_rules.ALL_KINDS:
+        evidence[required] = sum(
+            supply.get(held, 0.0)
+            for held in kind_rules.ALL_KINDS
+            if kind_rules.satisfies(held, required)
+        )
+    evidence["none"] = 1.0
+    total = sum(evidence.values())
+    evidence = {key: value / total for key, value in evidence.items()}
+    return TargetMarginal(kind=evidence, state=marginal.state)
+
+
+def clip_marginal(marginal, confidence):
+    """Cap a marginal's certainty (paper-style B(0.9) discipline).
+
+    Prevents runaway feedback when summaries echo between caller and
+    callee models across worklist iterations.
+    """
+
+    def clip(dist):
+        if dist is None:
+            return None
+        values = np.array(list(dist.values()))
+        values = np.clip(values, 1.0 - confidence, confidence)
+        values = values / values.sum()
+        return {key: float(v) for key, v in zip(dist.keys(), values)}
+
+    return TargetMarginal(kind=clip(marginal.kind), state=clip(marginal.state))

@@ -1,0 +1,33 @@
+"""Workloads: the annotated Iterator API, the paper's example programs,
+and the PMD-scale synthetic corpus with its hand-annotation oracle.
+
+The real PMD source (38,483 lines) and Bierhoff's hand annotations are
+not available; ``generator`` builds a seeded synthetic corpus matching
+Table 1's statistics and the iterator-usage pattern mix that drives the
+paper's Table 2/4 results, and ``oracle`` derives the gold annotations a
+careful human would write (the Bierhoff configuration).
+"""
+
+from repro.corpus.examples import FIGURE3_CLIENT, figure3_sources
+from repro.corpus.generator import (
+    CorpusBundle,
+    CorpusSpec,
+    generate_branchy_program,
+    generate_inlined_program,
+    generate_pmd_corpus,
+)
+from repro.corpus.iterator_api import ITERATOR_API_SOURCE
+from repro.corpus.oracle import apply_oracle, oracle_specs
+
+__all__ = [
+    "ITERATOR_API_SOURCE",
+    "FIGURE3_CLIENT",
+    "figure3_sources",
+    "CorpusSpec",
+    "CorpusBundle",
+    "generate_pmd_corpus",
+    "generate_branchy_program",
+    "generate_inlined_program",
+    "oracle_specs",
+    "apply_oracle",
+]

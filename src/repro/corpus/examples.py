@@ -1,0 +1,90 @@
+"""The paper's running example programs (Figures 3 and 5)."""
+
+from repro.corpus.iterator_api import ITERATOR_API_SOURCE
+
+#: Figure 3: the spreadsheet application whose createColIter method gives
+#: rise to conflicting constraints (guarded uses vs. testParseCSV).
+FIGURE3_CLIENT = '''
+class Row {
+    Collection<Integer> entries;
+
+    Iterator<Integer> createColIter() {
+        return entries.iterator();
+    }
+
+    void add(int val) { }
+
+    Row copy(Row original) {
+        Iterator<Integer> iter = original.createColIter();
+        Row result = new Row();
+        while (iter.hasNext()) {
+            result.add(iter.next());
+        }
+        return result;
+    }
+
+    int sumRow(Row r) {
+        int total = 0;
+        Iterator<Integer> iter = r.createColIter();
+        while (iter.hasNext()) {
+            total = total + iter.next();
+        }
+        return total;
+    }
+
+    int countRow(Row r) {
+        int n = 0;
+        Iterator<Integer> iter = r.createColIter();
+        while (iter.hasNext()) {
+            Integer v = iter.next();
+            n = n + 1;
+        }
+        return n;
+    }
+
+    Row parseCSVRow(String s) {
+        return new Row();
+    }
+
+    @Test
+    void testParseCSV() {
+        Row r1 = parseCSVRow("1,2,3,4");
+        Row r2 = parseCSVRow("4,6,7,8");
+        int sum = r1.createColIter().next() +
+                  r2.createColIter().next();
+        assert sum > 5;
+    }
+}
+'''
+
+#: Figure 5: just the copy method (the PFG of Figure 6 is built from it).
+FIGURE5_COPY = '''
+class Row {
+    Collection<Integer> entries;
+
+    Iterator<Integer> createColIter() {
+        return entries.iterator();
+    }
+
+    void add(int val) { }
+
+    Row copy(Row original) {
+        Iterator<Integer> iter = original.createColIter();
+        Row result = new Row();
+        while (iter.hasNext()) {
+            result.add(iter.next());
+        }
+        return result;
+    }
+}
+'''
+
+
+def figure3_sources():
+    """API + Figure 3 client, ready for the pipeline."""
+    return [ITERATOR_API_SOURCE, FIGURE3_CLIENT]
+
+
+def figure5_sources():
+    """API + Figure 5 program (for the Figure 6 PFG)."""
+    return [ITERATOR_API_SOURCE, FIGURE5_COPY]

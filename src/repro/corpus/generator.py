@@ -1,0 +1,429 @@
+"""Synthetic PMD-scale corpus generator (Table 1 substitute).
+
+The real PMD source is unavailable; this module generates a deterministic
+Java corpus matching Table 1's statistics — 463 classes, 3,120 methods,
+38,483 lines, 170 calls to ``Iterator.next()`` — and, crucially, the
+iterator-usage *pattern mix* that drives the paper's Table 2 results:
+
+======================  =====  ========================================
+pattern                 count  role
+======================  =====  ========================================
+guarded direct loops      148  verify cleanly in every configuration
+unguarded direct calls      3  the 3 false positives of Table 2
+wrapper methods             8  need ``unique(result)`` annotations
+wrapper-using loops         8  2 warnings each when unannotated
+iterator-param loops       10  2 warnings each when unannotated
+consumeFirst helper         1  the branch-sensitivity case (4th warning)
+conditional callers         4  call consumeFirst under hasNext() guards
+misleading setters          4  ``settle*`` read-only methods; H4 fires on
+                               the name — Table 4's "more restrictive"
+state-test overrides        3  oracle-annotated; ANEK never infers them
+======================  =====  ========================================
+
+Unannotated, the corpus produces 45 PLURAL warnings
+(3 + 2·8 + 2·10 + 2 + 4), exactly Table 2's "Original" row.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.corpus.iterator_api import ITERATOR_API_SOURCE
+
+
+@dataclass
+class CorpusSpec:
+    """Knobs of the generator; defaults match Table 1."""
+
+    classes: int = 463
+    methods: int = 3120
+    lines: int = 38483
+    guarded_direct: int = 148
+    unguarded_direct: int = 3
+    wrappers: int = 8
+    wrapper_users: int = 8
+    param_consumers: int = 10
+    conditional_callers: int = 4
+    misleading_setters: int = 4
+    state_test_overrides: int = 3
+    consumers_per_class: int = 6
+
+    def scaled(self, factor):
+        """A proportionally smaller corpus (for tests); pattern counts
+        that define Table 2's shape keep at least one instance."""
+
+        def scale(value, minimum=1):
+            return max(minimum, int(round(value * factor)))
+
+        return CorpusSpec(
+            classes=scale(self.classes, 6),
+            methods=scale(self.methods, 30),
+            lines=scale(self.lines, 400),
+            guarded_direct=scale(self.guarded_direct, 4),
+            unguarded_direct=min(self.unguarded_direct, 3),
+            wrappers=scale(self.wrappers, 2),
+            wrapper_users=scale(self.wrapper_users, 2),
+            param_consumers=scale(self.param_consumers, 2),
+            conditional_callers=scale(self.conditional_callers, 2),
+            misleading_setters=scale(self.misleading_setters, 2),
+            state_test_overrides=min(self.state_test_overrides, 3),
+            consumers_per_class=self.consumers_per_class,
+        )
+
+
+@dataclass
+class CorpusBundle:
+    """The generated corpus plus its ground-truth method registry."""
+
+    spec: CorpusSpec = None
+    sources: List[str] = field(default_factory=list)  # excludes the API
+    api_source: str = ITERATOR_API_SOURCE
+    #: qualified method name -> pattern tag ("wrapper", "guarded", ...)
+    registry: Dict[str, str] = field(default_factory=dict)
+
+    def all_sources(self):
+        return [self.api_source] + list(self.sources)
+
+    def line_count(self):
+        return sum(len(source.splitlines()) for source in self.sources)
+
+    def methods_tagged(self, tag):
+        return sorted(
+            name for name, value in self.registry.items() if value == tag
+        )
+
+
+class _ClassWriter:
+    """Accumulates one class's source text."""
+
+    def __init__(self, name, header=None):
+        self.name = name
+        self.lines = [header or "class %s {" % name]
+
+    def add_method(self, body_lines):
+        self.lines.append("")
+        self.lines.extend("    " + line for line in body_lines)
+
+    def render(self):
+        return "\n".join(self.lines + ["}"]) + "\n"
+
+
+def _filler_method(class_name, index, extra_statements=0):
+    """A protocol-free filler method, ~8 source lines."""
+    name = "op%d" % index
+    lines = [
+        "int %s(int x) {" % name,
+        "    int a = x + %d;" % (index % 17 + 1),
+        "    int b = a * %d;" % (index % 5 + 2),
+        "    if (b > %d) {" % (index % 50 + 10),
+        "        b = b - a;",
+        "    }",
+    ]
+    for pad in range(extra_statements):
+        lines.append("    int p%d = b + %d;" % (pad, pad))
+        lines.append("    b = b + p%d;" % pad)
+    lines.extend([
+        "    return a + b;",
+        "}",
+    ])
+    return name, lines
+
+
+def generate_pmd_corpus(spec=None):
+    """Generate the corpus; deterministic for a given spec."""
+    spec = spec or CorpusSpec()
+    bundle = CorpusBundle(spec=spec)
+    writers = []
+    registry = bundle.registry
+    method_budget = spec.methods
+
+    # ---- data classes: collections + wrapper methods --------------------------
+    data_class_count = spec.wrappers
+    for index in range(data_class_count):
+        name = "Data%d" % index
+        writer = _ClassWriter(name)
+        writer.add_method(["%s() {" % name, "    this.items = new ArrayList<Integer>();", "}"])
+        writer.add_method(
+            [
+                "Iterator<Integer> createItemIter() {",
+                "    return items.iterator();",
+                "}",
+            ]
+        )
+        writer.add_method(
+            [
+                "void addItem(Integer v) {",
+                "    items.add(v);",
+                "}",
+            ]
+        )
+        writer.add_method(
+            [
+                "Collection<Integer> getItems() {",
+                "    return items;",
+                "}",
+            ]
+        )
+        writer.lines.insert(1, '    @Perm("share")')
+        writer.lines.insert(2, "    Collection<Integer> items;")
+        registry["%s.createItemIter" % name] = "wrapper"
+        registry["%s.addItem" % name] = "data-helper"
+        registry["%s.getItems" % name] = "data-helper"
+        registry["%s.%s" % (name, name)] = "data-helper"
+        method_budget -= 4
+        writers.append(writer)
+
+    # ---- consumer methods -----------------------------------------------------
+    consumers = []  # list of (tag, body_lines_fn(index))
+
+    def guarded_direct(index):
+        return [
+            "int scan%d(Collection<Integer> c) {" % index,
+            "    int acc = 0;",
+            "    Iterator<Integer> it = c.iterator();",
+            "    while (it.hasNext()) {",
+            "        acc = acc + it.next();",
+            "    }",
+            "    return acc;",
+            "}",
+        ]
+
+    def unguarded_direct(index):
+        return [
+            "int first%d(Collection<Integer> c) {" % index,
+            "    Iterator<Integer> it = c.iterator();",
+            "    return it.next();",
+            "}",
+        ]
+
+    def wrapper_user(index):
+        data = "Data%d" % (index % data_class_count)
+        return [
+            "int total%d(%s d) {" % (index, data),
+            "    int acc = 0;",
+            "    Iterator<Integer> it = d.createItemIter();",
+            "    while (it.hasNext()) {",
+            "        acc = acc + it.next();",
+            "    }",
+            "    return acc;",
+            "}",
+        ]
+
+    def param_consumer(index):
+        return [
+            "int drain%d(Iterator<Integer> it) {" % index,
+            "    int acc = 0;",
+            "    while (it.hasNext()) {",
+            "        acc = acc + it.next();",
+            "    }",
+            "    return acc;",
+            "}",
+        ]
+
+    def consume_first(index):
+        return [
+            "int consumeFirst(Iterator<Integer> it) {",
+            "    int v = it.next();",
+            "    if (it.hasNext()) {",
+            "        v = v + 1;",
+            "    }",
+            "    return v;",
+            "}",
+        ]
+
+    def conditional_caller(index):
+        return [
+            "int safeFirst%d(Collection<Integer> c) {" % index,
+            "    Iterator<Integer> it = c.iterator();",
+            "    if (it.hasNext()) {",
+            "        return consumeFirst(it);",
+            "    }",
+            "    return 0;",
+            "}",
+        ]
+
+    def misleading_setter(index):
+        # Read-only despite the set* name: H4 will elevate a writing
+        # receiver kind that the method does not actually need.
+        return [
+            "int settle%d(Iterator<Integer> it) {" % index,
+            "    if (it.hasNext()) {",
+            "        return 1;",
+            "    }",
+            "    return 0;",
+            "}",
+        ]
+
+    for index in range(spec.guarded_direct):
+        consumers.append(("guarded", guarded_direct, index))
+    for index in range(spec.unguarded_direct):
+        consumers.append(("unguarded", unguarded_direct, index))
+    for index in range(spec.wrapper_users):
+        consumers.append(("wrapper-user", wrapper_user, index))
+    for index in range(spec.param_consumers):
+        consumers.append(("param-consumer", param_consumer, index))
+    for index in range(spec.misleading_setters):
+        consumers.append(("misleading-setter", misleading_setter, index))
+
+    per_class = spec.consumers_per_class
+    consumer_writers = []
+    for position, (tag, builder, index) in enumerate(consumers):
+        class_index = position // per_class
+        if class_index >= len(consumer_writers):
+            consumer_writers.append(_ClassWriter("Consumer%d" % class_index))
+        writer = consumer_writers[class_index]
+        body = builder(index)
+        writer.add_method(body)
+        method_name = body[0].split("(", 1)[0].split()[-1]
+        registry["%s.%s" % (writer.name, method_name)] = tag
+        method_budget -= 1
+    writers.extend(consumer_writers)
+
+    # consumeFirst and its conditional callers share one class so the
+    # implicit-this call resolves.
+    helper_writer = _ClassWriter("Helper")
+    for tag, builder, index in [("consume-first", consume_first, 0)] + [
+        ("conditional-caller", conditional_caller, i)
+        for i in range(spec.conditional_callers)
+    ]:
+        body = builder(index)
+        helper_writer.add_method(body)
+        method_name = body[0].split("(", 1)[0].split()[-1]
+        registry["Helper.%s" % method_name] = tag
+        method_budget -= 1
+    writers.append(helper_writer)
+
+    # ---- state-test override classes -------------------------------------------
+    for index in range(spec.state_test_overrides):
+        name = "CheckedIterator%d" % index
+        writer = _ClassWriter(
+            name,
+            header='@States("HASNEXT, END")\nclass %s implements Iterator<Integer> {' % name,
+        )
+        writer.lines.insert(1, "    int cursor;")
+        writer.lines.insert(2, "    int limit;")
+        writer.add_method(
+            [
+                "Integer next() {",
+                "    cursor = cursor + 1;",
+                "    return cursor;",
+                "}",
+            ]
+        )
+        writer.add_method(
+            [
+                "boolean hasNext() {",
+                "    return cursor < limit;",
+                "}",
+            ]
+        )
+        registry["%s.next" % name] = "state-test-class"
+        registry["%s.hasNext" % name] = "state-test-override"
+        method_budget -= 2
+        writers.append(writer)
+
+    # ---- filler classes ----------------------------------------------------------
+    method_budget -= 1  # reserved for the padding method below
+    filler_class_count = spec.classes - len(writers)
+    if filler_class_count < 1:
+        filler_class_count = 1
+    base = method_budget // filler_class_count
+    remainder = method_budget - base * filler_class_count
+    last_writer = None
+    for class_index in range(filler_class_count):
+        name = "Util%d" % class_index
+        writer = _ClassWriter(name)
+        count = base + (1 if class_index < remainder else 0)
+        for method_index in range(count):
+            method_name, body = _filler_method(name, method_index)
+            writer.add_method(body)
+            registry["%s.%s" % (name, method_name)] = "filler"
+        writers.append(writer)
+        last_writer = writer
+
+    # ---- pad to the target line count ---------------------------------------------
+    # One reserved padding method in the last filler class absorbs the
+    # line deficit so the corpus hits the target counts exactly.
+    current = sum(len(w.render().splitlines()) for w in writers)
+    deficit = spec.lines - current - 3  # method header/footer + blank
+    pad_body = ["void pad() {"]
+    for index in range(max(deficit, 0)):
+        pad_body.append("    int p%d = %d;" % (index, index))
+    pad_body.append("}")
+    last_writer.add_method(pad_body)
+    registry["%s.pad" % last_writer.name] = "filler"
+
+    bundle.sources = [writer.render() for writer in writers]
+    return bundle
+
+
+# ---------------------------------------------------------------------------
+# Table 3 programs: a branchy multi-method program and its inlined twin
+# ---------------------------------------------------------------------------
+
+
+def _branchy_step(index, last):
+    """One short branchy method operating on a collection."""
+    next_call = (
+        "        acc = acc + step%d(c, acc);" % (index + 1) if not last else
+        "        acc = acc + 1;"
+    )
+    return [
+        "int step%d(Collection<Integer> c, int seed) {" % index,
+        "    int acc = seed;",
+        "    Iterator<Integer> it = c.iterator();",
+        "    while (it.hasNext()) {",
+        "        int v = it.next();",
+        "        if (v > %d) {" % (index % 7),
+        "            acc = acc + v;",
+        "        } else {",
+        "            acc = acc - v;",
+        "        }",
+        "    }",
+        "    if (acc > %d) {" % (index * 3 + 1),
+        next_call,
+        "    }",
+        "    return acc;",
+        "}",
+    ]
+
+
+def generate_branchy_program(methods=24):
+    """The small branchy program of Table 3 (~400 lines, many short
+    methods with numerous control-flow branches)."""
+    lines = ["class Branchy {"]
+    for index in range(methods):
+        lines.append("")
+        body = _branchy_step(index, last=(index == methods - 1))
+        lines.extend("    " + line for line in body)
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def generate_inlined_program(methods=24):
+    """The same program with every method inlined into one large method —
+    the configuration on which PLURAL's local inference must solve one
+    global fraction system (Table 3's comparison)."""
+    lines = [
+        "class Inlined {",
+        "    int run(Collection<Integer> c, int seed) {",
+        "        int acc = seed;",
+    ]
+    for index in range(methods):
+        lines.extend(
+            [
+                "        Iterator<Integer> it%d = c.iterator();" % index,
+                "        while (it%d.hasNext()) {" % index,
+                "            int v%d = it%d.next();" % (index, index),
+                "            if (v%d > %d) {" % (index, index % 7),
+                "                acc = acc + v%d;" % index,
+                "            } else {",
+                "                acc = acc - v%d;" % index,
+                "            }",
+                "        }",
+                "        if (acc > %d) {" % (index * 3 + 1),
+                "            acc = acc + %d;" % (index + 1),
+                "        }",
+            ]
+        )
+    lines.extend(["        return acc;", "    }", "}"])
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,71 @@
+"""The annotated Iterator/Collection API (paper Figures 1 and 2).
+
+This is the library-side specification that, in the paper's workflow, API
+developers provide once; ANEK then infers the client-side annotations.
+"""
+
+ITERATOR_API_SOURCE = '''
+@States("HASNEXT, END")
+interface Iterator<T> {
+    @Perm(requires="full(this) in HASNEXT", ensures="full(this) in ALIVE")
+    T next();
+
+    @Perm(requires="pure(this) in ALIVE", ensures="pure(this)")
+    @TrueIndicates("HASNEXT")
+    @FalseIndicates("END")
+    boolean hasNext();
+}
+
+interface Iterable<T> {
+    @Perm(ensures="unique(result) in ALIVE")
+    Iterator<T> iterator();
+}
+
+interface Collection<T> extends Iterable<T> {
+    @Perm(ensures="unique(result) in ALIVE")
+    Iterator<T> iterator();
+
+    @Perm(requires="share(this)", ensures="share(this)")
+    boolean add(T item);
+
+    @Perm(requires="pure(this)", ensures="pure(this)")
+    int size();
+}
+
+@States("HASNEXT, END")
+class ListIterator<T> implements Iterator<T> {
+    int cursor;
+
+    ListIterator() { }
+
+    @Perm(requires="full(this) in HASNEXT", ensures="full(this) in ALIVE")
+    T next() { cursor = cursor + 1; return null; }
+
+    @Perm(requires="pure(this) in ALIVE", ensures="pure(this)")
+    @TrueIndicates("HASNEXT")
+    @FalseIndicates("END")
+    boolean hasNext() { return cursor < 10; }
+}
+
+class ArrayList<T> implements Collection<T> {
+    int count;
+
+    ArrayList() { }
+
+    @Perm(ensures="unique(result) in ALIVE")
+    Iterator<T> iterator() { return new ListIterator<T>(); }
+
+    @Perm(requires="share(this)", ensures="share(this)")
+    boolean add(T item) { count = count + 1; return true; }
+
+    @Perm(requires="pure(this)", ensures="pure(this)")
+    int size() { return count; }
+}
+'''
+
+
+def iterator_protocol_dot():
+    """Figure 1 as a DOT statechart."""
+    from repro.permissions.states import iterator_state_space
+
+    return iterator_state_space().to_dot()

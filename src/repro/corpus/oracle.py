@@ -1,0 +1,87 @@
+"""The hand-annotation oracle — the paper's "Bierhoff" configuration.
+
+Bierhoff's thesis experiment annotated PMD by hand in 75 minutes (26
+annotations) until PLURAL reported as few warnings as possible.  Without
+his annotations, this module derives the gold specifications a careful
+human would write for the generated corpus, using the generator's
+ground-truth registry:
+
+* wrapper methods         — ``ensures unique(result)`` only (the minimal
+  spec that verifies every caller without burdening them)
+* misleading setters      — ``pure(it)`` only; ANEK's H4 additionally
+  demands a writing receiver (Table 4's "more restrictive" rows)
+* iterator-param loops    — ``requires full(it), ensures full(it)``
+* consumeFirst            — ``requires full(it) in HASNEXT`` — the case
+  ANEK misses for lack of branch sensitivity
+* state-test overrides    — ``@TrueIndicates/@FalseIndicates`` — specs
+  ANEK never attempts to infer (Table 4's "removed" rows)
+"""
+
+from repro.permissions.spec import MethodSpec, PermClause
+
+#: Simulated manual effort (minutes), as reported in Bierhoff's thesis.
+MANUAL_ANNOTATION_MINUTES = 75.0
+
+
+def oracle_specs(bundle):
+    """Gold specs keyed by qualified method name."""
+    specs = {}
+    wrappers = bundle.methods_tagged("wrapper")
+    for name in wrappers:
+        # Result-only, the minimal spec that verifies all callers: the
+        # receiver is left unconstrained so unannotated callers need no
+        # receiver permission (Bierhoff annotated "until there were as
+        # few remaining warnings as possible" with minimal effort).
+        specs[name] = MethodSpec(
+            ensures=[PermClause("unique", "result", "ALIVE")],
+        )
+    for name in bundle.methods_tagged("param-consumer"):
+        specs[name] = MethodSpec(
+            requires=[PermClause("full", "it", "ALIVE")],
+            ensures=[PermClause("full", "it", "ALIVE")],
+        )
+    for name in bundle.methods_tagged("consume-first"):
+        specs[name] = MethodSpec(
+            requires=[PermClause("full", "it", "HASNEXT")],
+            ensures=[PermClause("full", "it", "ALIVE")],
+        )
+    for name in bundle.methods_tagged("state-test-override"):
+        specs[name] = MethodSpec(
+            requires=[PermClause("pure", "this", "ALIVE")],
+            ensures=[PermClause("pure", "this", "ALIVE")],
+            true_indicates="HASNEXT",
+            false_indicates="END",
+        )
+    for name in bundle.methods_tagged("misleading-setter"):
+        # The human writes the minimal truth: a read-only borrow of the
+        # iterator and nothing on the receiver.  ANEK's H4 fires on the
+        # ``set*`` name and additionally demands a writing receiver —
+        # Table 4's "changed, more restrictive" bucket.
+        specs[name] = MethodSpec(
+            requires=[PermClause("pure", "it", "ALIVE")],
+            ensures=[PermClause("pure", "it", "ALIVE")],
+        )
+    return specs
+
+
+def oracle_annotation_count(bundle):
+    """Number of hand-annotated methods (paper: 26)."""
+    return len(oracle_specs(bundle))
+
+
+def apply_oracle(program, bundle):
+    """Attach the oracle specs to a resolved program's ASTs.
+
+    Returns the number of methods annotated.
+    """
+    from repro.core.applier import apply_spec_to_method
+
+    specs = oracle_specs(bundle)
+    count = 0
+    for method_ref in program.all_methods():
+        spec = specs.get(method_ref.qualified_name)
+        if spec is None:
+            continue
+        if apply_spec_to_method(method_ref.method_decl, spec, replace=True):
+            count += 1
+    return count

@@ -1,0 +1,105 @@
+"""A second annotated protocol: streams with a nested state hierarchy.
+
+The iterator protocol of Figure 1 is flat (ALIVE ⊃ {HASNEXT, END}); this
+API exercises the *hierarchical* typestate machinery the PLURAL
+methodology supports:
+
+    ALIVE ─┬─ OPEN ─┬─ READY      (data available)
+           │        └─ DRAINED    (end of data, still open)
+           └─ CLOSED
+
+``read`` needs the stream in READY; ``ready()`` is the dynamic state
+test; ``close`` consumes a unique OPEN stream and leaves it CLOSED.
+Knowing READY implies knowing OPEN (substates satisfy superstates), so a
+``read`` after a successful ``ready()`` check also satisfies any
+OPEN-requiring operation.
+"""
+
+STREAM_API_SOURCE = '''
+@States("OPEN:READY|DRAINED, CLOSED")
+interface Stream {
+    @Perm(requires="full(this) in READY", ensures="full(this) in OPEN")
+    int read();
+
+    @Perm(requires="pure(this) in OPEN", ensures="pure(this)")
+    @TrueIndicates("READY")
+    @FalseIndicates("DRAINED")
+    boolean ready();
+
+    @Perm(requires="unique(this) in OPEN", ensures="unique(this) in CLOSED")
+    void close();
+
+    @Perm(requires="pure(this) in OPEN", ensures="pure(this)")
+    int position();
+}
+
+interface FileSystem {
+    @Perm(ensures="unique(result) in OPEN")
+    Stream open(String path);
+}
+
+@States("OPEN:READY|DRAINED, CLOSED")
+class ByteStream implements Stream {
+    int cursor;
+    int limit;
+
+    ByteStream() { }
+
+    @Perm(requires="full(this) in READY", ensures="full(this) in OPEN")
+    int read() { cursor = cursor + 1; return cursor; }
+
+    @Perm(requires="pure(this) in OPEN", ensures="pure(this)")
+    @TrueIndicates("READY")
+    @FalseIndicates("DRAINED")
+    boolean ready() { return cursor < limit; }
+
+    @Perm(requires="unique(this) in OPEN", ensures="unique(this) in CLOSED")
+    void close() { cursor = limit; }
+
+    @Perm(requires="pure(this) in OPEN", ensures="pure(this)")
+    int position() { return cursor; }
+}
+'''
+
+#: A well-behaved client: open, drain under ready() guards, close.
+STREAM_CLIENT_GOOD = '''
+class CopyTool {
+    int drainAll(FileSystem fs, String path) {
+        Stream s = fs.open(path);
+        int total = 0;
+        while (s.ready()) {
+            total = total + s.read();
+        }
+        s.close();
+        return total;
+    }
+}
+'''
+
+#: Protocol violations: read without a ready() check, use after close,
+#: and double close.
+STREAM_CLIENT_BAD = '''
+class Sloppy {
+    int grab(FileSystem fs, String path) {
+        Stream s = fs.open(path);
+        return s.read();
+    }
+
+    int useAfterClose(FileSystem fs, String path) {
+        Stream s = fs.open(path);
+        s.close();
+        return s.position();
+    }
+
+    void doubleClose(FileSystem fs, String path) {
+        Stream s = fs.open(path);
+        s.close();
+        s.close();
+    }
+}
+'''
+
+
+def stream_sources(*clients):
+    """The stream API plus any client sources."""
+    return [STREAM_API_SOURCE] + list(clients)

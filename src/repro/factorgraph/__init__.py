@@ -1,0 +1,30 @@
+"""A factor-graph engine with loopy sum-product belief propagation.
+
+This is the substitute for INFER.NET in the paper's pipeline: ANEK's
+probabilistic constraints (paper §3.3–3.4) compile to factors over
+finite-domain variables, and approximate marginals are computed with the
+sum-product algorithm (Kschischang, Frey & Loeliger — the paper's own
+citation [14]).
+
+* ``variables``  — finite-domain random variables with priors
+* ``factors``    — table factors and soft-predicate factors (paper Eq. 6)
+* ``graph``      — the bipartite factor graph
+* ``sumproduct`` — loopy BP with damping and convergence detection
+* ``exact``      — brute-force marginals for small graphs (testing)
+* ``compile``    — decomposition of wide constraints via auxiliary chains
+"""
+
+from repro.factorgraph.factors import Factor, predicate_factor, soft_equality
+from repro.factorgraph.graph import FactorGraph
+from repro.factorgraph.sumproduct import SumProductResult, run_sum_product
+from repro.factorgraph.variables import Variable
+
+__all__ = [
+    "Variable",
+    "Factor",
+    "predicate_factor",
+    "soft_equality",
+    "FactorGraph",
+    "run_sum_product",
+    "SumProductResult",
+]

@@ -1,0 +1,114 @@
+"""Decomposition of wide constraints into bounded-arity factors.
+
+The paper's L2 constraint says a node's permission equals the permission
+on *one of* its incoming edges — a disjunction over all incoming edges.
+Compiled naively that is a single factor over m+1 variables (table size
+d^(m+1)), which blows up at loop joins with many predecessors.  This
+module rewrites such disjunctions as a chain of ternary "selector"
+factors through auxiliary variables, keeping every table at d^3 cells.
+
+This is exactly the kind of factorization Equation 5 of the paper
+anticipates: the joint stays a product of small-support functions.
+"""
+
+from repro.factorgraph.factors import predicate_factor
+
+#: Factors wider than this get decomposed through auxiliary variables.
+MAX_DIRECT_ARITY = 4
+
+
+def _node_equals_any(node, *edges):
+    return any(node == edge for edge in edges)
+
+
+def _match_starts(match, node, edge):
+    return match == (node == edge)
+
+
+def _match_extends(match, prior_match, node, edge):
+    return match == (prior_match or node == edge)
+
+
+def _is_true(match):
+    return match
+
+
+def add_soft_one_of(graph, name, node_var, edge_vars, high_probability):
+    """Assert softly that ``node_var`` equals at least one of ``edge_vars``.
+
+    For few edges, emits a single factor with predicate
+    ``node == e1 or node == e2 or ...``.  For many edges, chains auxiliary
+    boolean "seen a match so far" variables so that every factor has
+    arity <= 3.  Returns the list of factors added.
+    """
+    if not edge_vars:
+        return []
+    added = []
+    if len(edge_vars) + 1 <= MAX_DIRECT_ARITY:
+        factor = predicate_factor(
+            name,
+            [node_var] + list(edge_vars),
+            _node_equals_any,
+            high_probability,
+        )
+        graph.add_factor(factor)
+        added.append(factor)
+        return added
+    # Chain: match_i == (node == edge_i) or match_{i-1}.
+    previous = None
+    for position, edge_var in enumerate(edge_vars):
+        aux = graph.add_variable(
+            "%s$match%d" % (name, position), (False, True)
+        )
+        if previous is None:
+            factor = predicate_factor(
+                "%s$link%d" % (name, position),
+                [aux, node_var, edge_var],
+                _match_starts,
+                max(high_probability, 0.999),
+            )
+        else:
+            factor = _chain_link(
+                "%s$link%d" % (name, position),
+                aux,
+                previous,
+                node_var,
+                edge_var,
+            )
+        graph.add_factor(factor)
+        added.append(factor)
+        previous = aux
+    terminal = predicate_factor(
+        "%s$terminal" % name, [previous], _is_true, high_probability
+    )
+    graph.add_factor(terminal)
+    added.append(terminal)
+    return added
+
+
+def _chain_link(name, aux, previous, node_var, edge_var):
+    """aux == previous or (node == edge) — an arity-4 deterministic link."""
+    return predicate_factor(
+        name,
+        [aux, previous, node_var, edge_var],
+        _match_extends,
+        0.999,
+    )
+
+
+def add_soft_all_equal(graph, name, node_var, edge_vars, high_probability):
+    """Assert softly that the node equals *every* edge (branch case of L1).
+
+    Emitted as independent pairwise equalities, which is an exact
+    factorization of the conjunction.
+    """
+    from repro.factorgraph.factors import soft_equality
+
+    added = []
+    for position, edge_var in enumerate(edge_vars):
+        factor = soft_equality(
+            "%s$eq%d" % (name, position), node_var, edge_var, high_probability
+        )
+        graph.add_factor(factor)
+        added.append(factor)
+    return added

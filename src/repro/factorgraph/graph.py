@@ -1,0 +1,91 @@
+"""The bipartite factor graph.
+
+Holds variables and factors, maintains adjacency, and computes the joint
+probability of full assignments (used by the exact solver and by tests to
+validate BP marginals).
+"""
+
+import numpy as np
+
+from repro.factorgraph.factors import Factor
+from repro.factorgraph.variables import Variable
+
+
+class FactorGraph:
+    """A collection of variables and factors over them."""
+
+    def __init__(self, name="model"):
+        self.name = name
+        self.variables = {}
+        self.factors = []
+        self._factors_of = {}
+
+    # -- construction ----------------------------------------------------------
+
+    def add_variable(self, name, domain, prior=None):
+        """Create (or fetch, if identical) a variable."""
+        if name in self.variables:
+            existing = self.variables[name]
+            if existing.domain != tuple(domain):
+                raise ValueError(
+                    "variable %r re-added with different domain" % name
+                )
+            return existing
+        variable = Variable(name, domain, prior=prior)
+        self.variables[name] = variable
+        self._factors_of[name] = []
+        return variable
+
+    def get_variable(self, name):
+        return self.variables[name]
+
+    def add_factor(self, factor):
+        if not isinstance(factor, Factor):
+            raise TypeError("expected a Factor, got %r" % type(factor).__name__)
+        for variable in factor.variables:
+            if variable.name not in self.variables:
+                raise ValueError(
+                    "factor %r references unknown variable %r"
+                    % (factor.name, variable.name)
+                )
+        self.factors.append(factor)
+        for variable in factor.variables:
+            self._factors_of[variable.name].append(factor)
+        return factor
+
+    def factors_of(self, variable_name):
+        return self._factors_of[variable_name]
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def variable_count(self):
+        return len(self.variables)
+
+    @property
+    def factor_count(self):
+        return len(self.factors)
+
+    def table_cells(self):
+        """Total number of table entries; a memory-cost proxy."""
+        return sum(factor.table.size for factor in self.factors)
+
+    def unnormalized_joint(self, assignment):
+        """Product of all factor values (and priors) on a full assignment."""
+        score = 1.0
+        for variable in self.variables.values():
+            score *= variable.prior[variable.index_of(assignment[variable.name])]
+        for factor in self.factors:
+            score *= factor.value(assignment)
+        return score
+
+    def log_joint(self, assignment):
+        score = self.unnormalized_joint(assignment)
+        return -np.inf if score <= 0 else float(np.log(score))
+
+    def __repr__(self):
+        return "FactorGraph(%s, %d vars, %d factors)" % (
+            self.name,
+            self.variable_count,
+            self.factor_count,
+        )

@@ -1,0 +1,136 @@
+"""Loopy sum-product (and max-product) belief propagation.
+
+Implements the sum-product algorithm of Kschischang, Frey & Loeliger
+(the paper's reference [14]) on :class:`repro.factorgraph.graph.FactorGraph`.
+Messages are updated in synchronous sweeps with damping; the run stops at
+convergence (max message delta below tolerance) or after ``max_iters``
+sweeps — mirroring the paper's acceptance of approximate marginals.
+
+``run_max_product`` runs the same schedule with max instead of sum,
+yielding max-marginals whose argmaxes approximate the MAP assignment —
+the "single most likely specification" view, as opposed to thresholding
+per-variable marginals.
+"""
+
+import numpy as np
+
+
+class SumProductResult:
+    """Marginals plus convergence metadata."""
+
+    def __init__(self, marginals, iterations, converged, max_delta):
+        self.marginals = marginals
+        self.iterations = iterations
+        self.converged = converged
+        self.max_delta = max_delta
+
+    def marginal(self, variable_name):
+        return self.marginals[variable_name]
+
+    def probability(self, variable_name, value, graph=None, variable=None):
+        """P(variable = value); needs the variable for domain lookup."""
+        if variable is None:
+            if graph is None:
+                raise ValueError("pass graph or variable to resolve the domain")
+            variable = graph.get_variable(variable_name)
+        return float(self.marginals[variable_name][variable.index_of(value)])
+
+    def most_likely(self, variable):
+        """(value, probability) with the highest marginal mass."""
+        vector = self.marginals[variable.name]
+        position = int(np.argmax(vector))
+        return variable.domain[position], float(vector[position])
+
+
+def _normalize(vector):
+    total = vector.sum()
+    if total <= 0 or not np.isfinite(total):
+        return np.full(vector.shape, 1.0 / len(vector))
+    return vector / total
+
+
+def run_sum_product(graph, max_iters=50, tolerance=1e-6, damping=0.0,
+                    semiring="sum"):
+    """Run loopy BP and return a :class:`SumProductResult`.
+
+    Priors participate as implicit unary potentials on each variable.
+    ``damping`` in [0, 1) blends each new factor-to-variable message with
+    the previous one, which stabilizes oscillating loopy graphs.
+    ``semiring`` selects marginalization: ``"sum"`` (marginals) or
+    ``"max"`` (max-marginals / MAP belief revision).
+    """
+    variables = list(graph.variables.values())
+    factors = list(graph.factors)
+
+    # Message stores, keyed by (factor index, variable name).
+    var_to_factor = {}
+    factor_to_var = {}
+    neighbors_of = {variable.name: [] for variable in variables}
+    for factor_index, factor in enumerate(factors):
+        for variable in factor.variables:
+            var_to_factor[(factor_index, variable.name)] = variable.uniform()
+            factor_to_var[(factor_index, variable.name)] = variable.uniform()
+            neighbors_of[variable.name].append(factor_index)
+
+    iterations = 0
+    max_delta = np.inf
+    converged = False
+    errstate = np.errstate(divide="ignore", invalid="ignore")
+    errstate.__enter__()
+    for iterations in range(1, max_iters + 1):
+        max_delta = 0.0
+        # Variable -> factor messages first, so priors propagate in the
+        # very first sweep: compute the full belief product once per
+        # variable, then divide out each factor's own contribution.
+        for variable in variables:
+            indexed = neighbors_of[variable.name]
+            if not indexed:
+                continue
+            full = variable.prior.copy()
+            for factor_index in indexed:
+                full = full * factor_to_var[(factor_index, variable.name)]
+            for factor_index in indexed:
+                message = factor_to_var[(factor_index, variable.name)]
+                outgoing = np.where(message > 0, full / message, 0.0)
+                var_to_factor[(factor_index, variable.name)] = _normalize(outgoing)
+        # Factor -> variable messages.
+        for factor_index, factor in enumerate(factors):
+            incoming = {
+                variable.name: var_to_factor[(factor_index, variable.name)]
+                for variable in factor.variables
+            }
+            for variable in factor.variables:
+                message = _normalize(
+                    factor.message_to(variable, incoming, reduce=semiring)
+                )
+                old = factor_to_var[(factor_index, variable.name)]
+                if damping > 0.0:
+                    message = _normalize(damping * old + (1.0 - damping) * message)
+                delta = float(np.abs(message - old).max())
+                if delta > max_delta:
+                    max_delta = delta
+                factor_to_var[(factor_index, variable.name)] = message
+        if max_delta < tolerance:
+            converged = True
+            break
+    errstate.__exit__(None, None, None)
+
+    marginals = {}
+    for variable in variables:
+        belief = variable.prior.copy()
+        for factor_index in neighbors_of[variable.name]:
+            belief = belief * factor_to_var[(factor_index, variable.name)]
+        marginals[variable.name] = _normalize(belief)
+    return SumProductResult(marginals, iterations, converged, max_delta)
+
+
+def run_max_product(graph, max_iters=50, tolerance=1e-6, damping=0.0):
+    """Max-product BP: max-marginals whose argmaxes approximate the MAP
+    assignment (exact on trees)."""
+    return run_sum_product(
+        graph,
+        max_iters=max_iters,
+        tolerance=tolerance,
+        damping=damping,
+        semiring="max",
+    )

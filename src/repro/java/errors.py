@@ -1,0 +1,28 @@
+"""Errors raised by the Java-subset frontend."""
+
+
+class FrontendError(Exception):
+    """Base class for all frontend errors."""
+
+    def __init__(self, message, line=None, column=None):
+        self.message = message
+        self.line = line
+        self.column = column
+        super().__init__(self._format())
+
+    def _format(self):
+        if self.line is None:
+            return self.message
+        return "%s (line %d, column %d)" % (self.message, self.line, self.column)
+
+
+class LexError(FrontendError):
+    """Raised when the lexer encounters an invalid character sequence."""
+
+
+class JavaSyntaxError(FrontendError):
+    """Raised when the parser encounters an unexpected token."""
+
+
+class ResolutionError(FrontendError):
+    """Raised when symbol resolution fails (unknown type, duplicate method...)."""

@@ -1,0 +1,202 @@
+"""Hand-written lexer for the Java subset.
+
+The lexer is a straightforward maximal-munch scanner producing a list of
+:class:`repro.java.tokens.Token`.  Comments (line and block) and whitespace
+are skipped; string and char literals support the common escape sequences.
+"""
+
+from repro.java.errors import LexError
+from repro.java.tokens import (
+    BOOL_LIT,
+    CHAR_LIT,
+    EOF,
+    IDENT,
+    INT_LIT,
+    KEYWORD,
+    KEYWORDS,
+    NULL_LIT,
+    PUNCT,
+    PUNCTUATION,
+    STRING_LIT,
+    Token,
+)
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "b": "\b",
+    "f": "\f",
+    "0": "\0",
+    "'": "'",
+    '"': '"',
+    "\\": "\\",
+}
+
+
+class Lexer:
+    """Scans Java-subset source text into tokens."""
+
+    def __init__(self, source):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # -- low-level cursor helpers ------------------------------------------
+
+    def _peek(self, offset=0):
+        index = self.pos + offset
+        if index < len(self.source):
+            return self.source[index]
+        return ""
+
+    def _advance(self, count=1):
+        for _ in range(count):
+            if self.pos >= len(self.source):
+                return
+            if self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _error(self, message):
+        raise LexError(message, self.line, self.column)
+
+    # -- scanning ----------------------------------------------------------
+
+    def tokens(self):
+        """Return the complete token list, ending with an EOF token."""
+        result = []
+        while True:
+            token = self.next_token()
+            result.append(token)
+            if token.kind == EOF:
+                return result
+
+    def next_token(self):
+        self._skip_trivia()
+        if self.pos >= len(self.source):
+            return Token(EOF, "", self.line, self.column)
+        char = self._peek()
+        if char.isalpha() or char == "_" or char == "$":
+            return self._scan_word()
+        if char.isdigit():
+            return self._scan_number()
+        if char == '"':
+            return self._scan_string()
+        if char == "'":
+            return self._scan_char()
+        return self._scan_punct()
+
+    def _skip_trivia(self):
+        while self.pos < len(self.source):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    self._error("unterminated block comment")
+            else:
+                return
+
+    def _scan_word(self):
+        line, column = self.line, self.column
+        start = self.pos
+        while self.pos < len(self.source):
+            char = self._peek()
+            if char.isalnum() or char == "_" or char == "$":
+                self._advance()
+            else:
+                break
+        word = self.source[start : self.pos]
+        if word in ("true", "false"):
+            return Token(BOOL_LIT, word, line, column)
+        if word == "null":
+            return Token(NULL_LIT, word, line, column)
+        if word in KEYWORDS:
+            return Token(KEYWORD, word, line, column)
+        return Token(IDENT, word, line, column)
+
+    def _scan_number(self):
+        line, column = self.line, self.column
+        start = self.pos
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF_":
+                self._advance()
+        else:
+            while self._peek().isdigit() or self._peek() == "_":
+                self._advance()
+        # Long suffix; floats are out of subset but digits+dot tolerated.
+        if self._peek() in "lL":
+            self._advance()
+        text = self.source[start : self.pos]
+        return Token(INT_LIT, text, line, column)
+
+    def _scan_string(self):
+        line, column = self.line, self.column
+        self._advance()  # opening quote
+        chars = []
+        while True:
+            if self.pos >= len(self.source):
+                self._error("unterminated string literal")
+            char = self._peek()
+            if char == '"':
+                self._advance()
+                return Token(STRING_LIT, "".join(chars), line, column)
+            if char == "\n":
+                self._error("newline in string literal")
+            if char == "\\":
+                self._advance()
+                escape = self._peek()
+                if escape not in _ESCAPES:
+                    self._error("unknown escape sequence \\%s" % escape)
+                chars.append(_ESCAPES[escape])
+                self._advance()
+            else:
+                chars.append(char)
+                self._advance()
+
+    def _scan_char(self):
+        line, column = self.line, self.column
+        self._advance()  # opening quote
+        char = self._peek()
+        if char == "\\":
+            self._advance()
+            escape = self._peek()
+            if escape not in _ESCAPES:
+                self._error("unknown escape sequence \\%s" % escape)
+            value = _ESCAPES[escape]
+            self._advance()
+        else:
+            value = char
+            self._advance()
+        if self._peek() != "'":
+            self._error("unterminated char literal")
+        self._advance()
+        return Token(CHAR_LIT, value, line, column)
+
+    def _scan_punct(self):
+        line, column = self.line, self.column
+        for punct in PUNCTUATION:
+            if self.source.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return Token(PUNCT, punct, line, column)
+        self._error("unexpected character %r" % self._peek())
+
+
+def tokenize(source):
+    """Tokenize ``source`` and return the token list (including EOF)."""
+    return Lexer(source).tokens()

@@ -1,0 +1,843 @@
+"""Recursive-descent parser for the Java subset.
+
+The grammar covers what the paper's programs need: top-level classes and
+interfaces, annotations, generics-lite type references, fields, methods and
+constructors, and the usual statement/expression forms.  Local variable
+declarations are disambiguated from expressions by speculative parsing
+(try type+identifier, rewind on failure), the standard trick for grammars
+where ``A<B> x`` and ``a < b`` share a prefix.
+"""
+
+from repro.java import ast
+from repro.java.errors import JavaSyntaxError
+from repro.java.lexer import tokenize
+from repro.java.tokens import (
+    BOOL_LIT,
+    CHAR_LIT,
+    EOF,
+    IDENT,
+    INT_LIT,
+    KEYWORD,
+    MODIFIER_KEYWORDS,
+    NULL_LIT,
+    PRIMITIVE_TYPES,
+    PUNCT,
+    STRING_LIT,
+)
+
+_ASSIGN_OPS = frozenset(["=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="])
+
+
+class Parser:
+    """Parses a token stream into a :class:`repro.java.ast.CompilationUnit`."""
+
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token stream helpers ----------------------------------------------
+
+    def _peek(self, offset=0):
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self):
+        token = self.tokens[self.pos]
+        if token.kind != EOF:
+            self.pos += 1
+        return token
+
+    def _at_punct(self, value):
+        return self._peek().is_punct(value)
+
+    def _at_keyword(self, value):
+        return self._peek().is_keyword(value)
+
+    def _accept_punct(self, value):
+        if self._at_punct(value):
+            self._advance()
+            return True
+        return False
+
+    def _accept_keyword(self, value):
+        if self._at_keyword(value):
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, value):
+        token = self._peek()
+        if not token.is_punct(value):
+            self._error("expected %r but found %r" % (value, token.value))
+        return self._advance()
+
+    def _expect_keyword(self, value):
+        token = self._peek()
+        if not token.is_keyword(value):
+            self._error("expected keyword %r but found %r" % (value, token.value))
+        return self._advance()
+
+    def _expect_ident(self):
+        token = self._peek()
+        if token.kind != IDENT:
+            self._error("expected identifier but found %r" % (token.value,))
+        return self._advance()
+
+    def _error(self, message):
+        token = self._peek()
+        raise JavaSyntaxError(message, token.line, token.column)
+
+    def _pos_of(self, token):
+        return {"line": token.line, "column": token.column}
+
+    # -- compilation unit ----------------------------------------------------
+
+    def parse_compilation_unit(self):
+        unit = ast.CompilationUnit()
+        if self._at_keyword("package"):
+            self._advance()
+            unit.package = self._parse_qualified_name()
+            self._expect_punct(";")
+        while self._at_keyword("import"):
+            self._advance()
+            name = self._parse_qualified_name()
+            if self._accept_punct("."):
+                self._expect_punct("*")
+                name += ".*"
+            self._expect_punct(";")
+            unit.imports.append(name)
+        while self._peek().kind != EOF:
+            unit.types.append(self.parse_type_declaration())
+        return unit
+
+    def _parse_qualified_name(self):
+        parts = [self._expect_ident().value]
+        while self._at_punct(".") and self._peek(1).kind == IDENT:
+            self._advance()
+            parts.append(self._expect_ident().value)
+        return ".".join(parts)
+
+    # -- type declarations ---------------------------------------------------
+
+    def parse_type_declaration(self):
+        annotations = self._parse_annotations()
+        modifiers = self._parse_modifiers()
+        if self._at_keyword("class"):
+            return self._parse_class_body_decl(annotations, modifiers, is_interface=False)
+        if self._at_keyword("interface"):
+            return self._parse_class_body_decl(annotations, modifiers, is_interface=True)
+        self._error("expected class or interface declaration")
+
+    def _parse_class_body_decl(self, annotations, modifiers, is_interface):
+        start = self._advance()  # 'class' or 'interface'
+        name = self._expect_ident().value
+        decl = ast.ClassDecl(
+            name=name,
+            is_interface=is_interface,
+            modifiers=modifiers,
+            annotations=annotations,
+            **self._pos_of(start),
+        )
+        decl.type_params = self._parse_type_params()
+        if self._accept_keyword("extends"):
+            first = self._parse_type_ref()
+            if is_interface:
+                decl.interfaces.append(first)
+                while self._accept_punct(","):
+                    decl.interfaces.append(self._parse_type_ref())
+            else:
+                decl.superclass = first
+        if self._accept_keyword("implements"):
+            decl.interfaces.append(self._parse_type_ref())
+            while self._accept_punct(","):
+                decl.interfaces.append(self._parse_type_ref())
+        self._expect_punct("{")
+        while not self._accept_punct("}"):
+            self._parse_member(decl)
+        return decl
+
+    def _parse_member(self, decl):
+        if self._accept_punct(";"):
+            return
+        annotations = self._parse_annotations()
+        modifiers = self._parse_modifiers()
+        if self._at_keyword("class") or self._at_keyword("interface"):
+            # Nested types are parsed and flattened into the enclosing decl's
+            # method-less sibling list is out of subset; treat as error.
+            self._error("nested type declarations are outside the supported subset")
+        type_params = self._parse_type_params()
+        # Constructor: identifier matching class name followed by '('.
+        token = self._peek()
+        if token.kind == IDENT and token.value == decl.name and self._peek(1).is_punct("("):
+            ctor = self._parse_method_rest(
+                name=self._advance().value,
+                return_type=None,
+                annotations=annotations,
+                modifiers=modifiers,
+                type_params=type_params,
+                is_constructor=True,
+                start=token,
+            )
+            decl.methods.append(ctor)
+            return
+        member_type = self._parse_type_ref()
+        name_token = self._expect_ident()
+        if self._at_punct("("):
+            method = self._parse_method_rest(
+                name=name_token.value,
+                return_type=member_type,
+                annotations=annotations,
+                modifiers=modifiers,
+                type_params=type_params,
+                is_constructor=False,
+                start=name_token,
+            )
+            decl.methods.append(method)
+        else:
+            field = ast.FieldDecl(
+                name=name_token.value,
+                type=member_type,
+                modifiers=modifiers,
+                annotations=annotations,
+                **self._pos_of(name_token),
+            )
+            if self._accept_punct("="):
+                field.initializer = self.parse_expression()
+            decl.fields.append(field)
+            while self._accept_punct(","):
+                extra_name = self._expect_ident()
+                extra = ast.FieldDecl(
+                    name=extra_name.value,
+                    type=member_type,
+                    modifiers=list(modifiers),
+                    annotations=[],
+                    **self._pos_of(extra_name),
+                )
+                if self._accept_punct("="):
+                    extra.initializer = self.parse_expression()
+                decl.fields.append(extra)
+            self._expect_punct(";")
+
+    def _parse_method_rest(
+        self, name, return_type, annotations, modifiers, type_params, is_constructor, start
+    ):
+        method = ast.MethodDecl(
+            name=name,
+            return_type=return_type,
+            annotations=annotations,
+            modifiers=modifiers,
+            type_params=type_params,
+            is_constructor=is_constructor,
+            **self._pos_of(start),
+        )
+        self._expect_punct("(")
+        if not self._at_punct(")"):
+            method.params.append(self._parse_param())
+            while self._accept_punct(","):
+                method.params.append(self._parse_param())
+        self._expect_punct(")")
+        if self._accept_keyword("throws"):
+            method.throws.append(self._parse_type_ref())
+            while self._accept_punct(","):
+                method.throws.append(self._parse_type_ref())
+        if self._accept_punct(";"):
+            method.body = None
+        else:
+            method.body = self.parse_block()
+        return method
+
+    def _parse_param(self):
+        annotations = self._parse_annotations()
+        self._accept_keyword("final")
+        param_type = self._parse_type_ref()
+        name_token = self._expect_ident()
+        return ast.Param(
+            name=name_token.value,
+            type=param_type,
+            annotations=annotations,
+            **self._pos_of(name_token),
+        )
+
+    # -- annotations, modifiers, types ---------------------------------------
+
+    def _parse_annotations(self):
+        annotations = []
+        while self._at_punct("@"):
+            start = self._advance()
+            name = self._expect_ident().value
+            arguments = {}
+            if self._accept_punct("("):
+                if not self._at_punct(")"):
+                    arguments.update(self._parse_annotation_argument())
+                    while self._accept_punct(","):
+                        arguments.update(self._parse_annotation_argument())
+                self._expect_punct(")")
+            annotations.append(
+                ast.Annotation(name=name, arguments=arguments, **self._pos_of(start))
+            )
+        return annotations
+
+    def _parse_annotation_argument(self):
+        if self._peek().kind == IDENT and self._peek(1).is_punct("="):
+            key = self._advance().value
+            self._advance()  # '='
+            return {key: self._parse_annotation_value()}
+        return {"value": self._parse_annotation_value()}
+
+    def _parse_annotation_value(self):
+        token = self._peek()
+        if token.kind in (STRING_LIT, INT_LIT, BOOL_LIT, CHAR_LIT, IDENT):
+            self._advance()
+            return token.value
+        self._error("unsupported annotation value %r" % (token.value,))
+
+    def _parse_modifiers(self):
+        modifiers = []
+        while self._peek().kind == KEYWORD and self._peek().value in MODIFIER_KEYWORDS:
+            # 'synchronized' as a modifier only when not followed by '('.
+            if self._peek().value == "synchronized" and self._peek(1).is_punct("("):
+                break
+            modifiers.append(self._advance().value)
+        return modifiers
+
+    def _parse_type_params(self):
+        params = []
+        if self._accept_punct("<"):
+            params.append(self._expect_ident().value)
+            if self._accept_keyword("extends"):
+                self._parse_type_ref()
+            while self._accept_punct(","):
+                params.append(self._expect_ident().value)
+                if self._accept_keyword("extends"):
+                    self._parse_type_ref()
+            self._expect_punct(">")
+        return params
+
+    def _parse_type_ref(self):
+        token = self._peek()
+        if token.kind == KEYWORD and token.value in PRIMITIVE_TYPES:
+            self._advance()
+            ref = ast.TypeRef(name=token.value, **self._pos_of(token))
+        elif token.kind == IDENT:
+            name = self._parse_qualified_name()
+            ref = ast.TypeRef(name=name, **self._pos_of(token))
+            if self._at_punct("<"):
+                ref.type_args = self._parse_type_args()
+        else:
+            self._error("expected a type but found %r" % (token.value,))
+        while self._at_punct("[") and self._peek(1).is_punct("]"):
+            self._advance()
+            self._advance()
+            ref.dimensions += 1
+        return ref
+
+    def _parse_type_args(self):
+        self._expect_punct("<")
+        args = []
+        if self._accept_punct(">"):
+            return args  # diamond
+        args.append(self._parse_type_arg())
+        while self._accept_punct(","):
+            args.append(self._parse_type_arg())
+        self._close_type_args()
+        return args
+
+    def _parse_type_arg(self):
+        if self._accept_punct("?"):
+            if self._accept_keyword("extends") or self._accept_keyword("super"):
+                return self._parse_type_ref()
+            return ast.TypeRef(name="?")
+        return self._parse_type_ref()
+
+    def _close_type_args(self):
+        """Consume a closing '>' that may be lexed as '>>' or '>>>'."""
+        token = self._peek()
+        if token.is_punct(">"):
+            self._advance()
+            return
+        if token.is_punct(">>") or token.is_punct(">>>"):
+            # Split the token: consume one '>' and push back the remainder.
+            rest = token.value[1:]
+            self._advance()
+            pushed = token._replace(value=rest, column=token.column + 1)
+            self.tokens.insert(self.pos, pushed)
+            return
+        self._error("expected '>' to close type arguments")
+
+    # -- statements ------------------------------------------------------------
+
+    def parse_block(self):
+        start = self._expect_punct("{")
+        block = ast.Block(**self._pos_of(start))
+        while not self._accept_punct("}"):
+            block.statements.append(self.parse_statement())
+        return block
+
+    def parse_statement(self):
+        token = self._peek()
+        if token.is_punct("{"):
+            return self.parse_block()
+        if token.is_punct(";"):
+            self._advance()
+            return ast.EmptyStmt(**self._pos_of(token))
+        if token.kind == KEYWORD:
+            keyword = token.value
+            if keyword == "if":
+                return self._parse_if()
+            if keyword == "while":
+                return self._parse_while()
+            if keyword == "do":
+                return self._parse_do_while()
+            if keyword == "for":
+                return self._parse_for()
+            if keyword == "return":
+                return self._parse_return()
+            if keyword == "assert":
+                return self._parse_assert()
+            if keyword == "synchronized":
+                return self._parse_synchronized()
+            if keyword == "switch":
+                return self._parse_switch()
+            if keyword == "throw":
+                return self._parse_throw()
+            if keyword == "break":
+                self._advance()
+                self._expect_punct(";")
+                return ast.BreakStmt(**self._pos_of(token))
+            if keyword == "continue":
+                self._advance()
+                self._expect_punct(";")
+                return ast.ContinueStmt(**self._pos_of(token))
+            if keyword == "final":
+                self._advance()
+                return self._parse_local_var_decl_known()
+            if keyword in PRIMITIVE_TYPES:
+                return self._parse_local_var_decl_known()
+        decl = self._try_parse_local_var_decl()
+        if decl is not None:
+            return decl
+        expr = self.parse_expression()
+        self._expect_punct(";")
+        return ast.ExprStmt(expr=expr, line=expr.line, column=expr.column)
+
+    def _parse_if(self):
+        start = self._expect_keyword("if")
+        self._expect_punct("(")
+        condition = self.parse_expression()
+        self._expect_punct(")")
+        then_branch = self.parse_statement()
+        else_branch = None
+        if self._accept_keyword("else"):
+            else_branch = self.parse_statement()
+        return ast.IfStmt(
+            condition=condition,
+            then_branch=then_branch,
+            else_branch=else_branch,
+            **self._pos_of(start),
+        )
+
+    def _parse_while(self):
+        start = self._expect_keyword("while")
+        self._expect_punct("(")
+        condition = self.parse_expression()
+        self._expect_punct(")")
+        body = self.parse_statement()
+        return ast.WhileStmt(condition=condition, body=body, **self._pos_of(start))
+
+    def _parse_do_while(self):
+        start = self._expect_keyword("do")
+        body = self.parse_statement()
+        self._expect_keyword("while")
+        self._expect_punct("(")
+        condition = self.parse_expression()
+        self._expect_punct(")")
+        self._expect_punct(";")
+        return ast.DoWhileStmt(body=body, condition=condition, **self._pos_of(start))
+
+    def _parse_for(self):
+        start = self._expect_keyword("for")
+        self._expect_punct("(")
+        # For-each: 'Type ident :' — detect by speculative type parse.
+        saved = self.pos
+        try:
+            var_type = self._parse_type_ref()
+            name_token = self._expect_ident()
+            if self._accept_punct(":"):
+                iterable = self.parse_expression()
+                self._expect_punct(")")
+                body = self.parse_statement()
+                return ast.ForEachStmt(
+                    var_type=var_type,
+                    var_name=name_token.value,
+                    iterable=iterable,
+                    body=body,
+                    **self._pos_of(start),
+                )
+        except JavaSyntaxError:
+            pass
+        self.pos = saved
+        init = []
+        if not self._at_punct(";"):
+            decl = self._try_parse_local_var_decl(consume_semicolon=False)
+            if decl is not None:
+                init.append(decl)
+            else:
+                init.append(
+                    ast.ExprStmt(expr=self.parse_expression())
+                )
+                while self._accept_punct(","):
+                    init.append(ast.ExprStmt(expr=self.parse_expression()))
+        self._expect_punct(";")
+        condition = None
+        if not self._at_punct(";"):
+            condition = self.parse_expression()
+        self._expect_punct(";")
+        update = []
+        if not self._at_punct(")"):
+            update.append(self.parse_expression())
+            while self._accept_punct(","):
+                update.append(self.parse_expression())
+        self._expect_punct(")")
+        body = self.parse_statement()
+        return ast.ForStmt(
+            init=init, condition=condition, update=update, body=body, **self._pos_of(start)
+        )
+
+    def _parse_return(self):
+        start = self._expect_keyword("return")
+        value = None
+        if not self._at_punct(";"):
+            value = self.parse_expression()
+        self._expect_punct(";")
+        return ast.ReturnStmt(value=value, **self._pos_of(start))
+
+    def _parse_assert(self):
+        start = self._expect_keyword("assert")
+        condition = self.parse_expression()
+        message = None
+        if self._accept_punct(":"):
+            message = self.parse_expression()
+        self._expect_punct(";")
+        return ast.AssertStmt(condition=condition, message=message, **self._pos_of(start))
+
+    def _parse_synchronized(self):
+        start = self._expect_keyword("synchronized")
+        self._expect_punct("(")
+        lock = self.parse_expression()
+        self._expect_punct(")")
+        body = self.parse_block()
+        return ast.SynchronizedStmt(lock=lock, body=body, **self._pos_of(start))
+
+    def _parse_switch(self):
+        start = self._expect_keyword("switch")
+        self._expect_punct("(")
+        selector = self.parse_expression()
+        self._expect_punct(")")
+        self._expect_punct("{")
+        cases = []
+        while not self._accept_punct("}"):
+            labels = []
+            while True:
+                if self._accept_keyword("case"):
+                    labels.append(self.parse_expression())
+                    self._expect_punct(":")
+                elif self._accept_keyword("default"):
+                    self._expect_punct(":")
+                else:
+                    break
+                if not (
+                    self._at_keyword("case") or self._at_keyword("default")
+                ):
+                    break
+            body = []
+            while not (
+                self._at_keyword("case")
+                or self._at_keyword("default")
+                or self._at_punct("}")
+            ):
+                body.append(self.parse_statement())
+            cases.append(
+                ast.SwitchCase(labels=labels, body=body, **self._pos_of(start))
+            )
+        return ast.SwitchStmt(
+            selector=selector, cases=cases, **self._pos_of(start)
+        )
+
+    def _parse_throw(self):
+        start = self._expect_keyword("throw")
+        value = self.parse_expression()
+        self._expect_punct(";")
+        return ast.ThrowStmt(value=value, **self._pos_of(start))
+
+    def _try_parse_local_var_decl(self, consume_semicolon=True):
+        """Speculatively parse ``Type name [= init] ;`` — rewind on failure."""
+        token = self._peek()
+        if token.kind != IDENT and not (
+            token.kind == KEYWORD and token.value in PRIMITIVE_TYPES
+        ):
+            return None
+        saved = self.pos
+        try:
+            var_type = self._parse_type_ref()
+            name_token = self._peek()
+            if name_token.kind != IDENT:
+                raise JavaSyntaxError("not a declaration")
+            self._advance()
+            if self._at_punct("=") or self._at_punct(";") or self._at_punct(","):
+                decl = ast.LocalVarDecl(
+                    type=var_type, name=name_token.value, **self._pos_of(name_token)
+                )
+                if self._accept_punct("="):
+                    decl.initializer = self.parse_expression()
+                if consume_semicolon:
+                    self._expect_punct(";")
+                return decl
+            raise JavaSyntaxError("not a declaration")
+        except JavaSyntaxError:
+            self.pos = saved
+            return None
+
+    def _parse_local_var_decl_known(self):
+        var_type = self._parse_type_ref()
+        name_token = self._expect_ident()
+        decl = ast.LocalVarDecl(
+            type=var_type, name=name_token.value, **self._pos_of(name_token)
+        )
+        if self._accept_punct("="):
+            decl.initializer = self.parse_expression()
+        self._expect_punct(";")
+        return decl
+
+    # -- expressions -------------------------------------------------------------
+
+    def parse_expression(self):
+        return self._parse_assignment()
+
+    def _parse_assignment(self):
+        left = self._parse_conditional()
+        token = self._peek()
+        if token.kind == PUNCT and token.value in _ASSIGN_OPS:
+            op = self._advance().value
+            value = self._parse_assignment()
+            return ast.Assign(
+                target=left, op=op, value=value, line=left.line, column=left.column
+            )
+        return left
+
+    def _parse_conditional(self):
+        condition = self._parse_binary(0)
+        if self._accept_punct("?"):
+            then_expr = self.parse_expression()
+            self._expect_punct(":")
+            else_expr = self._parse_conditional()
+            return ast.Conditional(
+                condition=condition,
+                then_expr=then_expr,
+                else_expr=else_expr,
+                line=condition.line,
+                column=condition.column,
+            )
+        return condition
+
+    _BINARY_LEVELS = [
+        ["||"],
+        ["&&"],
+        ["|"],
+        ["^"],
+        ["&"],
+        ["==", "!="],
+        ["<", ">", "<=", ">=", "instanceof"],
+        ["<<", ">>", ">>>"],
+        ["+", "-"],
+        ["*", "/", "%"],
+    ]
+
+    def _parse_binary(self, level):
+        if level >= len(self._BINARY_LEVELS):
+            return self._parse_unary()
+        ops = self._BINARY_LEVELS[level]
+        left = self._parse_binary(level + 1)
+        while True:
+            token = self._peek()
+            if "instanceof" in ops and token.is_keyword("instanceof"):
+                self._advance()
+                target_type = self._parse_type_ref()
+                left = ast.InstanceOf(
+                    expr=left, type=target_type, line=left.line, column=left.column
+                )
+                continue
+            if token.kind == PUNCT and token.value in ops:
+                op = self._advance().value
+                right = self._parse_binary(level + 1)
+                left = ast.Binary(
+                    op=op, left=left, right=right, line=left.line, column=left.column
+                )
+                continue
+            return left
+
+    def _parse_unary(self):
+        token = self._peek()
+        if token.kind == PUNCT and token.value in ("!", "-", "+", "~", "++", "--"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.Unary(
+                op=token.value, operand=operand, prefix=True, **self._pos_of(token)
+            )
+        # Cast: '(' Type ')' unary — speculative.
+        if token.is_punct("("):
+            saved = self.pos
+            try:
+                self._advance()
+                cast_type = self._parse_type_ref()
+                if self._accept_punct(")"):
+                    next_token = self._peek()
+                    castable = (
+                        next_token.kind in (IDENT, INT_LIT, STRING_LIT, CHAR_LIT)
+                        or next_token.is_punct("(")
+                        or next_token.is_keyword("new")
+                        or next_token.is_keyword("this")
+                        or (cast_type.is_primitive and next_token.kind != EOF)
+                    )
+                    if castable:
+                        expr = self._parse_unary()
+                        return ast.Cast(
+                            type=cast_type, expr=expr, **self._pos_of(token)
+                        )
+                raise JavaSyntaxError("not a cast")
+            except JavaSyntaxError:
+                self.pos = saved
+        return self._parse_postfix()
+
+    def _parse_postfix(self):
+        expr = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token.is_punct("."):
+                self._advance()
+                name_token = self._expect_ident()
+                if self._at_punct("("):
+                    arguments = self._parse_arguments()
+                    expr = ast.MethodCall(
+                        receiver=expr,
+                        name=name_token.value,
+                        arguments=arguments,
+                        **self._pos_of(name_token),
+                    )
+                else:
+                    expr = ast.FieldAccess(
+                        receiver=expr, name=name_token.value, **self._pos_of(name_token)
+                    )
+            elif token.is_punct("["):
+                self._advance()
+                index = self.parse_expression()
+                self._expect_punct("]")
+                expr = ast.ArrayAccess(
+                    array=expr, index=index, line=expr.line, column=expr.column
+                )
+            elif token.is_punct("++") or token.is_punct("--"):
+                self._advance()
+                expr = ast.Unary(
+                    op=token.value,
+                    operand=expr,
+                    prefix=False,
+                    line=expr.line,
+                    column=expr.column,
+                )
+            else:
+                return expr
+
+    def _parse_arguments(self):
+        self._expect_punct("(")
+        arguments = []
+        if not self._at_punct(")"):
+            arguments.append(self.parse_expression())
+            while self._accept_punct(","):
+                arguments.append(self.parse_expression())
+        self._expect_punct(")")
+        return arguments
+
+    def _parse_primary(self):
+        token = self._peek()
+        if token.kind == INT_LIT:
+            self._advance()
+            text = token.value.rstrip("lL").replace("_", "")
+            value = int(text, 16) if text.lower().startswith("0x") else int(text)
+            return ast.Literal(kind="int", value=value, **self._pos_of(token))
+        if token.kind == STRING_LIT:
+            self._advance()
+            return ast.Literal(kind="string", value=token.value, **self._pos_of(token))
+        if token.kind == CHAR_LIT:
+            self._advance()
+            return ast.Literal(kind="char", value=token.value, **self._pos_of(token))
+        if token.kind == BOOL_LIT:
+            self._advance()
+            return ast.Literal(
+                kind="bool", value=(token.value == "true"), **self._pos_of(token)
+            )
+        if token.kind == NULL_LIT:
+            self._advance()
+            return ast.Literal(kind="null", value=None, **self._pos_of(token))
+        if token.is_keyword("this"):
+            self._advance()
+            if self._at_punct("("):
+                arguments = self._parse_arguments()
+                return ast.MethodCall(
+                    receiver=None, name="this", arguments=arguments, **self._pos_of(token)
+                )
+            return ast.ThisRef(**self._pos_of(token))
+        if token.is_keyword("super"):
+            self._advance()
+            if self._at_punct("("):
+                arguments = self._parse_arguments()
+                return ast.MethodCall(
+                    receiver=None, name="super", arguments=arguments, **self._pos_of(token)
+                )
+            self._expect_punct(".")
+            name_token = self._expect_ident()
+            if self._at_punct("("):
+                arguments = self._parse_arguments()
+                return ast.MethodCall(
+                    receiver=ast.VarRef(name="super", **self._pos_of(token)),
+                    name=name_token.value,
+                    arguments=arguments,
+                    **self._pos_of(name_token),
+                )
+            return ast.FieldAccess(
+                receiver=ast.VarRef(name="super", **self._pos_of(token)),
+                name=name_token.value,
+                **self._pos_of(name_token),
+            )
+        if token.is_keyword("new"):
+            self._advance()
+            new_type = self._parse_type_ref()
+            arguments = self._parse_arguments()
+            return ast.NewObject(
+                type=new_type, arguments=arguments, **self._pos_of(token)
+            )
+        if token.is_punct("("):
+            self._advance()
+            expr = self.parse_expression()
+            self._expect_punct(")")
+            return expr
+        if token.kind == IDENT:
+            self._advance()
+            if self._at_punct("("):
+                arguments = self._parse_arguments()
+                return ast.MethodCall(
+                    receiver=None,
+                    name=token.value,
+                    arguments=arguments,
+                    **self._pos_of(token),
+                )
+            return ast.VarRef(name=token.value, **self._pos_of(token))
+        self._error("unexpected token %r in expression" % (token.value,))
+
+
+def parse_compilation_unit(source):
+    """Parse source text into a :class:`repro.java.ast.CompilationUnit`."""
+    return Parser(tokenize(source)).parse_compilation_unit()
+
+
+def parse_program(sources):
+    """Parse a list of source texts and return their compilation units."""
+    return [parse_compilation_unit(source) for source in sources]

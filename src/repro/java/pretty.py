@@ -1,0 +1,300 @@
+"""Pretty printer: AST back to Java-subset source text.
+
+Round-tripping is used by the annotation applier (``repro.core.applier``):
+parse, attach inferred ``@Perm`` annotations, and print the annotated
+program.  The printer produces canonical formatting, not byte-identical
+source.
+"""
+
+from repro.java import ast
+
+
+class PrettyPrinter:
+    """Renders AST nodes to indented source text."""
+
+    def __init__(self, indent="    "):
+        self.indent_unit = indent
+        self.lines = []
+        self.depth = 0
+
+    def _emit(self, text):
+        self.lines.append(self.indent_unit * self.depth + text)
+
+    def render(self, node):
+        self.lines = []
+        self.depth = 0
+        if isinstance(node, ast.CompilationUnit):
+            self._unit(node)
+        elif isinstance(node, ast.ClassDecl):
+            self._class(node)
+        else:
+            raise TypeError("cannot pretty-print %r" % type(node).__name__)
+        return "\n".join(self.lines) + "\n"
+
+    # -- declarations --------------------------------------------------------
+
+    def _unit(self, unit):
+        if unit.package:
+            self._emit("package %s;" % unit.package)
+            self._emit("")
+        for name in unit.imports:
+            self._emit("import %s;" % name)
+        if unit.imports:
+            self._emit("")
+        for index, decl in enumerate(unit.types):
+            if index:
+                self._emit("")
+            self._class(decl)
+
+    def _class(self, decl):
+        for annotation in decl.annotations:
+            self._emit(self._annotation(annotation))
+        keyword = "interface" if decl.is_interface else "class"
+        header = self._modifiers(decl.modifiers) + keyword + " " + decl.name
+        if decl.type_params:
+            header += "<%s>" % ", ".join(decl.type_params)
+        if decl.superclass is not None:
+            header += " extends " + str(decl.superclass)
+        if decl.interfaces:
+            joiner = " extends " if decl.is_interface else " implements "
+            header += joiner + ", ".join(str(ref) for ref in decl.interfaces)
+        self._emit(header + " {")
+        self.depth += 1
+        for field in decl.fields:
+            self._field(field)
+        for index, method in enumerate(decl.methods):
+            if index or decl.fields:
+                self._emit("")
+            self._method(method)
+        self.depth -= 1
+        self._emit("}")
+
+    def _field(self, field):
+        for annotation in field.annotations:
+            self._emit(self._annotation(annotation))
+        text = self._modifiers(field.modifiers) + str(field.type) + " " + field.name
+        if field.initializer is not None:
+            text += " = " + self._expr(field.initializer)
+        self._emit(text + ";")
+
+    def _method(self, method):
+        for annotation in method.annotations:
+            self._emit(self._annotation(annotation))
+        header = self._modifiers(method.modifiers)
+        if method.type_params:
+            header += "<%s> " % ", ".join(method.type_params)
+        if not method.is_constructor:
+            header += str(method.return_type) + " "
+        header += method.name
+        params = ", ".join(
+            "%s%s %s"
+            % (
+                "".join(self._annotation(a) + " " for a in param.annotations),
+                param.type,
+                param.name,
+            )
+            for param in method.params
+        )
+        header += "(%s)" % params
+        if method.throws:
+            header += " throws " + ", ".join(str(ref) for ref in method.throws)
+        if method.body is None:
+            self._emit(header + ";")
+            return
+        self._emit(header + " {")
+        self.depth += 1
+        for stmt in method.body.statements:
+            self._stmt(stmt)
+        self.depth -= 1
+        self._emit("}")
+
+    def _annotation(self, annotation):
+        if not annotation.arguments:
+            return "@%s" % annotation.name
+        if list(annotation.arguments.keys()) == ["value"]:
+            return '@%s("%s")' % (annotation.name, annotation.arguments["value"])
+        body = ", ".join(
+            '%s="%s"' % (key, value) for key, value in annotation.arguments.items()
+        )
+        return "@%s(%s)" % (annotation.name, body)
+
+    @staticmethod
+    def _modifiers(modifiers):
+        return "".join(modifier + " " for modifier in modifiers)
+
+    # -- statements ------------------------------------------------------------
+
+    def _stmt(self, stmt):
+        if isinstance(stmt, ast.Block):
+            self._emit("{")
+            self.depth += 1
+            for inner in stmt.statements:
+                self._stmt(inner)
+            self.depth -= 1
+            self._emit("}")
+        elif isinstance(stmt, ast.LocalVarDecl):
+            text = "%s %s" % (stmt.type, stmt.name)
+            if stmt.initializer is not None:
+                text += " = " + self._expr(stmt.initializer)
+            self._emit(text + ";")
+        elif isinstance(stmt, ast.ExprStmt):
+            self._emit(self._expr(stmt.expr) + ";")
+        elif isinstance(stmt, ast.IfStmt):
+            self._emit("if (%s) {" % self._expr(stmt.condition))
+            self._nested(stmt.then_branch)
+            if stmt.else_branch is not None:
+                self._emit("} else {")
+                self._nested(stmt.else_branch)
+            self._emit("}")
+        elif isinstance(stmt, ast.WhileStmt):
+            self._emit("while (%s) {" % self._expr(stmt.condition))
+            self._nested(stmt.body)
+            self._emit("}")
+        elif isinstance(stmt, ast.DoWhileStmt):
+            self._emit("do {")
+            self._nested(stmt.body)
+            self._emit("} while (%s);" % self._expr(stmt.condition))
+        elif isinstance(stmt, ast.ForStmt):
+            init = ", ".join(self._for_init(part) for part in stmt.init)
+            condition = self._expr(stmt.condition) if stmt.condition else ""
+            update = ", ".join(self._expr(expr) for expr in stmt.update)
+            self._emit("for (%s; %s; %s) {" % (init, condition, update))
+            self._nested(stmt.body)
+            self._emit("}")
+        elif isinstance(stmt, ast.ForEachStmt):
+            self._emit(
+                "for (%s %s : %s) {"
+                % (stmt.var_type, stmt.var_name, self._expr(stmt.iterable))
+            )
+            self._nested(stmt.body)
+            self._emit("}")
+        elif isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is None:
+                self._emit("return;")
+            else:
+                self._emit("return %s;" % self._expr(stmt.value))
+        elif isinstance(stmt, ast.AssertStmt):
+            text = "assert %s" % self._expr(stmt.condition)
+            if stmt.message is not None:
+                text += " : " + self._expr(stmt.message)
+            self._emit(text + ";")
+        elif isinstance(stmt, ast.SwitchStmt):
+            self._emit("switch (%s) {" % self._expr(stmt.selector))
+            self.depth += 1
+            for case in stmt.cases:
+                if case.is_default:
+                    self._emit("default:")
+                else:
+                    for label in case.labels:
+                        self._emit("case %s:" % self._expr(label))
+                self.depth += 1
+                for inner in case.body:
+                    self._stmt(inner)
+                self.depth -= 1
+            self.depth -= 1
+            self._emit("}")
+        elif isinstance(stmt, ast.SynchronizedStmt):
+            self._emit("synchronized (%s) {" % self._expr(stmt.lock))
+            self._nested(stmt.body)
+            self._emit("}")
+        elif isinstance(stmt, ast.ThrowStmt):
+            self._emit("throw %s;" % self._expr(stmt.value))
+        elif isinstance(stmt, ast.BreakStmt):
+            self._emit("break;")
+        elif isinstance(stmt, ast.ContinueStmt):
+            self._emit("continue;")
+        elif isinstance(stmt, ast.EmptyStmt):
+            self._emit(";")
+        else:
+            raise TypeError("cannot pretty-print statement %r" % type(stmt).__name__)
+
+    def _nested(self, stmt):
+        self.depth += 1
+        if isinstance(stmt, ast.Block):
+            for inner in stmt.statements:
+                self._stmt(inner)
+        else:
+            self._stmt(stmt)
+        self.depth -= 1
+
+    def _for_init(self, part):
+        if isinstance(part, ast.LocalVarDecl):
+            text = "%s %s" % (part.type, part.name)
+            if part.initializer is not None:
+                text += " = " + self._expr(part.initializer)
+            return text
+        if isinstance(part, ast.ExprStmt):
+            return self._expr(part.expr)
+        raise TypeError("unexpected for-init %r" % type(part).__name__)
+
+    # -- expressions -------------------------------------------------------------
+
+    def _expr(self, expr):
+        if isinstance(expr, ast.Literal):
+            return self._literal(expr)
+        if isinstance(expr, ast.VarRef):
+            return expr.name
+        if isinstance(expr, ast.ThisRef):
+            return "this"
+        if isinstance(expr, ast.FieldAccess):
+            if expr.receiver is None:
+                return expr.name
+            return "%s.%s" % (self._expr(expr.receiver), expr.name)
+        if isinstance(expr, ast.MethodCall):
+            arguments = ", ".join(self._expr(arg) for arg in expr.arguments)
+            if expr.receiver is None:
+                return "%s(%s)" % (expr.name, arguments)
+            return "%s.%s(%s)" % (self._expr(expr.receiver), expr.name, arguments)
+        if isinstance(expr, ast.NewObject):
+            arguments = ", ".join(self._expr(arg) for arg in expr.arguments)
+            return "new %s(%s)" % (expr.type, arguments)
+        if isinstance(expr, ast.Assign):
+            return "%s %s %s" % (self._expr(expr.target), expr.op, self._expr(expr.value))
+        if isinstance(expr, ast.Binary):
+            return "%s %s %s" % (
+                self._maybe_paren(expr.left),
+                expr.op,
+                self._maybe_paren(expr.right),
+            )
+        if isinstance(expr, ast.Unary):
+            rendered = self._maybe_paren(expr.operand)
+            return expr.op + rendered if expr.prefix else rendered + expr.op
+        if isinstance(expr, ast.Cast):
+            return "(%s) %s" % (expr.type, self._maybe_paren(expr.expr))
+        if isinstance(expr, ast.InstanceOf):
+            return "%s instanceof %s" % (self._maybe_paren(expr.expr), expr.type)
+        if isinstance(expr, ast.Conditional):
+            return "%s ? %s : %s" % (
+                self._maybe_paren(expr.condition),
+                self._expr(expr.then_expr),
+                self._expr(expr.else_expr),
+            )
+        if isinstance(expr, ast.ArrayAccess):
+            return "%s[%s]" % (self._expr(expr.array), self._expr(expr.index))
+        raise TypeError("cannot pretty-print expression %r" % type(expr).__name__)
+
+    def _maybe_paren(self, expr):
+        needs_parens = isinstance(
+            expr, (ast.Binary, ast.Conditional, ast.Assign, ast.InstanceOf, ast.Cast)
+        )
+        rendered = self._expr(expr)
+        return "(%s)" % rendered if needs_parens else rendered
+
+    @staticmethod
+    def _literal(expr):
+        if expr.kind == "string":
+            escaped = expr.value.replace("\\", "\\\\").replace('"', '\\"')
+            escaped = escaped.replace("\n", "\\n").replace("\t", "\\t")
+            return '"%s"' % escaped
+        if expr.kind == "char":
+            return "'%s'" % expr.value
+        if expr.kind == "bool":
+            return "true" if expr.value else "false"
+        if expr.kind == "null":
+            return "null"
+        return str(expr.value)
+
+
+def pretty_print(node, indent="    "):
+    """Render an AST node (compilation unit or class) to source text."""
+    return PrettyPrinter(indent=indent).render(node)

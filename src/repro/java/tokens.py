@@ -1,0 +1,161 @@
+"""Token definitions for the Java-subset lexer."""
+
+from collections import namedtuple
+
+# Token categories.
+KEYWORD = "KEYWORD"
+IDENT = "IDENT"
+INT_LIT = "INT_LIT"
+STRING_LIT = "STRING_LIT"
+CHAR_LIT = "CHAR_LIT"
+BOOL_LIT = "BOOL_LIT"
+NULL_LIT = "NULL_LIT"
+PUNCT = "PUNCT"
+EOF = "EOF"
+
+KEYWORDS = frozenset(
+    [
+        "abstract",
+        "assert",
+        "boolean",
+        "break",
+        "byte",
+        "case",
+        "catch",
+        "char",
+        "class",
+        "continue",
+        "default",
+        "do",
+        "double",
+        "else",
+        "enum",
+        "extends",
+        "final",
+        "finally",
+        "float",
+        "for",
+        "if",
+        "implements",
+        "import",
+        "instanceof",
+        "int",
+        "interface",
+        "long",
+        "native",
+        "new",
+        "package",
+        "private",
+        "protected",
+        "public",
+        "return",
+        "short",
+        "static",
+        "strictfp",
+        "super",
+        "switch",
+        "synchronized",
+        "this",
+        "throw",
+        "throws",
+        "transient",
+        "try",
+        "void",
+        "volatile",
+        "while",
+    ]
+)
+
+PRIMITIVE_TYPES = frozenset(
+    ["boolean", "byte", "char", "short", "int", "long", "float", "double", "void"]
+)
+
+MODIFIER_KEYWORDS = frozenset(
+    [
+        "public",
+        "private",
+        "protected",
+        "static",
+        "final",
+        "abstract",
+        "native",
+        "synchronized",
+        "transient",
+        "volatile",
+        "strictfp",
+    ]
+)
+
+# Multi-character punctuation, longest first so the lexer can use greedy match.
+PUNCTUATION = [
+    ">>>=",
+    ">>>",
+    "<<=",
+    ">>=",
+    "...",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "<<",
+    ">>",
+    "->",
+    "::",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ",",
+    ".",
+    "=",
+    ">",
+    "<",
+    "!",
+    "~",
+    "?",
+    ":",
+    "+",
+    "-",
+    "*",
+    "/",
+    "&",
+    "|",
+    "^",
+    "%",
+    "@",
+]
+
+
+class Token(namedtuple("Token", ["kind", "value", "line", "column"])):
+    """A single lexical token.
+
+    ``kind`` is one of the category constants in this module, ``value`` the
+    source text (or decoded literal), and ``line``/``column`` are 1-based
+    source coordinates of the first character.
+    """
+
+    __slots__ = ()
+
+    def is_punct(self, value):
+        return self.kind == PUNCT and self.value == value
+
+    def is_keyword(self, value):
+        return self.kind == KEYWORD and self.value == value
+
+    def __repr__(self):
+        return "Token(%s, %r, %d:%d)" % (self.kind, self.value, self.line, self.column)

@@ -1,0 +1,189 @@
+"""Lightweight expression typing for the Java subset.
+
+The analyses need static types of receivers to resolve method specs (e.g.
+knowing that ``iter`` in ``iter.next()`` is an ``Iterator``).  This module
+implements a simple bottom-up typer over method bodies: local declarations
+and parameters seed the environment; field and method lookups go through
+the resolved :class:`repro.java.symbols.Program`.
+
+Generic type arguments are resolved one level deep: if a method of
+``Collection<T>`` returns ``Iterator<T>`` and the receiver is a
+``Collection<Integer>``, the call types as ``Iterator<Integer>``.
+"""
+
+from repro.java import ast
+
+_PRIMITIVE_RESULT = {
+    "==": "boolean",
+    "!=": "boolean",
+    "<": "boolean",
+    ">": "boolean",
+    "<=": "boolean",
+    ">=": "boolean",
+    "&&": "boolean",
+    "||": "boolean",
+}
+
+
+class TypeEnv:
+    """Maps local variable names to :class:`repro.java.ast.TypeRef`."""
+
+    def __init__(self, parent=None):
+        self.parent = parent
+        self.bindings = {}
+
+    def bind(self, name, type_ref):
+        self.bindings[name] = type_ref
+
+    def lookup(self, name):
+        env = self
+        while env is not None:
+            if name in env.bindings:
+                return env.bindings[name]
+            env = env.parent
+        return None
+
+    def child(self):
+        return TypeEnv(parent=self)
+
+
+class ExprTyper:
+    """Types expressions within one method body."""
+
+    def __init__(self, program, class_decl, method_decl):
+        self.program = program
+        self.class_decl = class_decl
+        self.method_decl = method_decl
+        self.env = TypeEnv()
+        for param in method_decl.params:
+            self.env.bind(param.name, param.type)
+        self._seed_locals(method_decl.body)
+
+    def _seed_locals(self, body):
+        """Bind every local declaration in the body (flow-insensitive)."""
+        if body is None:
+            return
+        for node in body.walk():
+            if isinstance(node, ast.LocalVarDecl):
+                self.env.bind(node.name, node.type)
+            elif isinstance(node, ast.ForEachStmt):
+                self.env.bind(node.var_name, node.var_type)
+
+    # -- public API ------------------------------------------------------------
+
+    def type_of(self, expr):
+        """Return the TypeRef of ``expr``, or None when it cannot be typed."""
+        if isinstance(expr, ast.Literal):
+            return self._literal_type(expr)
+        if isinstance(expr, ast.VarRef):
+            bound = self.env.lookup(expr.name)
+            if bound is not None:
+                return bound
+            return self._field_type(self.class_decl.name, expr.name)
+        if isinstance(expr, ast.ThisRef):
+            return ast.TypeRef(name=self.class_decl.name)
+        if isinstance(expr, ast.FieldAccess):
+            if expr.receiver is None:
+                return self._field_type(self.class_decl.name, expr.name)
+            receiver_type = self.type_of(expr.receiver)
+            if receiver_type is None:
+                return None
+            return self._field_type(receiver_type.name, expr.name, receiver_type)
+        if isinstance(expr, ast.MethodCall):
+            return self._call_type(expr)
+        if isinstance(expr, ast.NewObject):
+            return expr.type
+        if isinstance(expr, ast.Assign):
+            return self.type_of(expr.target)
+        if isinstance(expr, ast.Binary):
+            result = _PRIMITIVE_RESULT.get(expr.op)
+            if result is not None:
+                return ast.TypeRef(name=result)
+            return self.type_of(expr.left)
+        if isinstance(expr, ast.Unary):
+            if expr.op == "!":
+                return ast.TypeRef(name="boolean")
+            return self.type_of(expr.operand)
+        if isinstance(expr, ast.Cast):
+            return expr.type
+        if isinstance(expr, ast.InstanceOf):
+            return ast.TypeRef(name="boolean")
+        if isinstance(expr, ast.Conditional):
+            then_type = self.type_of(expr.then_expr)
+            if then_type is not None:
+                return then_type
+            return self.type_of(expr.else_expr)
+        if isinstance(expr, ast.ArrayAccess):
+            array_type = self.type_of(expr.array)
+            if array_type is not None and array_type.dimensions > 0:
+                return ast.TypeRef(
+                    name=array_type.name,
+                    type_args=array_type.type_args,
+                    dimensions=array_type.dimensions - 1,
+                )
+            return None
+        return None
+
+    def receiver_class_name(self, call):
+        """Return the static class name of a call's receiver, or None."""
+        if call.receiver is None:
+            return self.class_decl.name
+        receiver_type = self.type_of(call.receiver)
+        if receiver_type is None:
+            return None
+        return receiver_type.name
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _literal_type(self, literal):
+        if literal.kind == "int":
+            return ast.TypeRef(name="int")
+        if literal.kind == "bool":
+            return ast.TypeRef(name="boolean")
+        if literal.kind == "string":
+            return ast.TypeRef(name="String")
+        if literal.kind == "char":
+            return ast.TypeRef(name="char")
+        return None  # null
+
+    def _field_type(self, class_name, field_name, receiver_type=None):
+        found = self.program.lookup_field(class_name, field_name)
+        if found is None:
+            return None
+        owner, field = found
+        return self._substitute(field.type, owner, receiver_type)
+
+    def _call_type(self, call):
+        class_name = self.receiver_class_name(call)
+        if class_name is None:
+            return None
+        ref = self.program.resolve_method(class_name, call.name, len(call.arguments))
+        if ref is None or ref.method_decl.return_type is None:
+            return None
+        receiver_type = None
+        if call.receiver is not None:
+            receiver_type = self.type_of(call.receiver)
+        return self._substitute(ref.method_decl.return_type, ref.class_decl, receiver_type)
+
+    def _substitute(self, declared, owner, receiver_type):
+        """Substitute class type parameters using the receiver's type args."""
+        if receiver_type is None or not owner.type_params or not receiver_type.type_args:
+            return declared
+        mapping = dict(zip(owner.type_params, receiver_type.type_args))
+        return self._apply_mapping(declared, mapping)
+
+    def _apply_mapping(self, type_ref, mapping):
+        if type_ref.name in mapping and not type_ref.type_args:
+            replacement = mapping[type_ref.name]
+            return ast.TypeRef(
+                name=replacement.name,
+                type_args=list(replacement.type_args),
+                dimensions=type_ref.dimensions,
+            )
+        if not type_ref.type_args:
+            return type_ref
+        return ast.TypeRef(
+            name=type_ref.name,
+            type_args=[self._apply_mapping(arg, mapping) for arg in type_ref.type_args],
+            dimensions=type_ref.dimensions,
+        )

@@ -1,0 +1,157 @@
+"""Abstract state hierarchies (paper Figure 1).
+
+Every class has a state space rooted at ``ALIVE`` (the paper: "the root of
+the state hierarchy ... equivalent to saying the iterator is not in any
+state of interest").  Classes declare refinements with a ``@States``
+annotation::
+
+    @States("HASNEXT, END")
+    interface Iterator<T> { ... }
+
+which puts HASNEXT and END under ALIVE.  Nested refinements use
+``parent:child1|child2`` entries, e.g. ``@States("OPEN:READING|EOF, CLOSED")``.
+"""
+
+ALIVE = "ALIVE"
+
+
+class StateSpace:
+    """A rooted tree of abstract states for one class."""
+
+    def __init__(self, class_name, parent_of=None):
+        self.class_name = class_name
+        # parent_of maps state -> parent; ALIVE has no parent.
+        self.parent_of = dict(parent_of or {})
+        self.parent_of.pop(ALIVE, None)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def parse(cls, class_name, declaration):
+        """Parse a ``@States`` declaration string.
+
+        Entries are comma-separated.  A bare name is a child of ALIVE; an
+        entry ``PARENT:A|B`` introduces A and B as children of PARENT.
+        """
+        parent_of = {}
+        for entry in declaration.split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            if ":" in entry:
+                parent, _, children = entry.partition(":")
+                parent = parent.strip()
+                if parent != ALIVE and parent not in parent_of:
+                    parent_of[parent] = ALIVE
+                for child in children.split("|"):
+                    child = child.strip()
+                    if child:
+                        parent_of[child] = parent
+            else:
+                parent_of[entry] = ALIVE
+        return cls(class_name, parent_of)
+
+    @classmethod
+    def trivial(cls, class_name):
+        """A state space with only ALIVE (no protocol)."""
+        return cls(class_name, {})
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def states(self):
+        """All states including ALIVE, root first, then sorted children."""
+        return [ALIVE] + sorted(self.parent_of)
+
+    def is_state(self, name):
+        return name == ALIVE or name in self.parent_of
+
+    def parent(self, state):
+        if state == ALIVE:
+            return None
+        return self.parent_of[state]
+
+    def children(self, state):
+        return sorted(
+            child for child, parent in self.parent_of.items() if parent == state
+        )
+
+    def ancestors(self, state):
+        """States from ``state`` up to and including ALIVE.
+
+        Unknown states (e.g. mentioned by a spec but not declared) are
+        treated as direct children of ALIVE, keeping queries total.
+        """
+        chain = [state]
+        while chain[-1] != ALIVE:
+            parent = self.parent_of.get(chain[-1])
+            if parent is None:
+                chain.append(ALIVE)
+                break
+            chain.append(parent)
+        return chain
+
+    def is_substate(self, sub, sup):
+        """True if ``sub`` refines (or equals) ``sup``."""
+        return sup in self.ancestors(sub)
+
+    def satisfies(self, known, required):
+        """Does knowing the object is in ``known`` satisfy requiring ``required``?
+
+        Knowledge of a substate implies knowledge of every superstate.
+        """
+        return self.is_substate(known, required)
+
+    def meet(self, state_a, state_b):
+        """Most general common refinement along one ancestor chain, if any.
+
+        Returns the deeper of the two when one refines the other (knowing
+        both facts means the object is in the deeper state); None when the
+        states are incomparable (contradictory knowledge).
+        """
+        if self.is_substate(state_a, state_b):
+            return state_a
+        if self.is_substate(state_b, state_a):
+            return state_b
+        return None
+
+    def join(self, state_a, state_b):
+        """Least common ancestor — what is known after merging two paths."""
+        ancestors_a = self.ancestors(state_a)
+        for candidate in ancestors_a:
+            if self.is_substate(state_b, candidate):
+                return candidate
+        return ALIVE
+
+    def leaves(self):
+        parents = set(self.parent_of.values())
+        return sorted(
+            state for state in self.parent_of if state not in parents
+        ) or [ALIVE]
+
+    def to_dot(self):
+        """Render the hierarchy (Figure 1 style) in DOT format."""
+        lines = ["digraph states_%s {" % self.class_name]
+        lines.append('  %s [shape=doublecircle];' % ALIVE)
+        for state in sorted(self.parent_of):
+            lines.append("  %s;" % state)
+            lines.append("  %s -> %s;" % (self.parent_of[state], state))
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "StateSpace(%s, %s)" % (self.class_name, self.states)
+
+
+def state_space_of_class(class_decl):
+    """Extract the state space from a class's ``@States`` annotation."""
+    for annotation in class_decl.annotations:
+        if annotation.name == "States":
+            declaration = annotation.argument("value", "")
+            return StateSpace.parse(class_decl.name, declaration)
+    return StateSpace.trivial(class_decl.name)
+
+
+def iterator_state_space():
+    """The Figure 1 protocol: ALIVE with HASNEXT and END refinements."""
+    return StateSpace.parse("Iterator", "HASNEXT, END")

@@ -1,0 +1,18 @@
+"""PLURAL: a modular, flow-sensitive typestate checker (substrate).
+
+Re-implements the checker of Bierhoff & Aldrich that the paper targets:
+method-at-a-time checking of access-permission specifications, with
+permission splitting at call sites, abstract-state tracking, and
+branch-sensitive dynamic state tests (``@TrueIndicates``/``@FalseIndicates``).
+
+* ``context``         — the flow fact: variables -> cells -> permissions
+* ``checker``         — the modular checker producing warnings
+* ``warnings``        — warning records and reporting
+* ``local_inference`` — PLURAL's local fractional-permission inference
+                        (Gaussian elimination), the Table 3 baseline
+"""
+
+from repro.plural.checker import PluralChecker, check_program
+from repro.plural.warnings import Warning, WarningKind
+
+__all__ = ["PluralChecker", "check_program", "Warning", "WarningKind"]

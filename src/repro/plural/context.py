@@ -1,0 +1,334 @@
+"""Permission contexts — the flow facts of the PLURAL checker.
+
+A context maps variables to *cells* (object identities established by the
+local must-alias discipline: copies share a cell, allocations and call
+results mint fresh cells) and cells to their current permission, a
+``(kind, state, class_name)`` triple where ``kind`` may be ``None`` for
+"no permission available".
+
+Contexts also carry *state-test facts*: boolean variables whose value
+reveals a cell's state (the result of ``hasNext()``-style methods), which
+the checker consumes at branches for state refinement.
+"""
+
+import itertools
+
+from repro.permissions import kinds
+from repro.permissions.states import ALIVE
+
+_CELL_COUNTER = itertools.count()
+
+
+def fresh_cell(tag="cell"):
+    return (tag, next(_CELL_COUNTER))
+
+
+class Perm:
+    """The permission a context holds for one cell."""
+
+    __slots__ = ("kind", "state", "class_name")
+
+    def __init__(self, kind, state=ALIVE, class_name=None):
+        self.kind = kind  # one of kinds.ALL_KINDS or None
+        self.state = state
+        self.class_name = class_name
+
+    def replace(self, kind=_CELL_COUNTER, state=_CELL_COUNTER):
+        """Copy with replaced fields (sentinel default keeps current)."""
+        new_kind = self.kind if kind is _CELL_COUNTER else kind
+        new_state = self.state if state is _CELL_COUNTER else state
+        return Perm(new_kind, new_state, self.class_name)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Perm)
+            and self.kind == other.kind
+            and self.state == other.state
+            and self.class_name == other.class_name
+        )
+
+    def __hash__(self):
+        return hash((self.kind, self.state, self.class_name))
+
+    def __repr__(self):
+        return "Perm(%s, %s, %s)" % (self.kind, self.state, self.class_name)
+
+
+NO_PERM = Perm(None, ALIVE, None)
+
+
+class StateTest:
+    """A boolean variable that witnesses a cell's abstract state."""
+
+    __slots__ = ("cell", "true_state", "false_state")
+
+    def __init__(self, cell, true_state, false_state):
+        self.cell = cell
+        self.true_state = true_state
+        self.false_state = false_state
+
+    def negated(self):
+        return StateTest(self.cell, self.false_state, self.true_state)
+
+    def refinements(self, outcome):
+        """(cell, state) refinements implied by this test's outcome."""
+        state = self.true_state if outcome else self.false_state
+        if state is None:
+            return []
+        return [(self.cell, state)]
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, StateTest)
+            and self.cell == other.cell
+            and self.true_state == other.true_state
+            and self.false_state == other.false_state
+        )
+
+    def __hash__(self):
+        return hash((self.cell, self.true_state, self.false_state))
+
+
+class Guard:
+    """Compound boolean knowledge built from state tests.
+
+    ``true_refinements`` are the (cell, state) facts implied when the
+    guard evaluates true; ``false_refinements`` when it evaluates false.
+    Conjunction keeps only true-side facts (``a && b`` true implies both
+    tests passed; false implies nothing about either), disjunction the
+    dual, and negation swaps the sides.
+    """
+
+    __slots__ = ("true_refinements", "false_refinements")
+
+    def __init__(self, true_refinements=(), false_refinements=()):
+        self.true_refinements = tuple(true_refinements)
+        self.false_refinements = tuple(false_refinements)
+
+    @classmethod
+    def of(cls, test):
+        """Normalize a StateTest (or Guard) into a Guard."""
+        if isinstance(test, Guard):
+            return test
+        return cls(test.refinements(True), test.refinements(False))
+
+    @classmethod
+    def conjunction(cls, left, right):
+        left, right = cls.of(left), cls.of(right)
+        return cls(left.true_refinements + right.true_refinements, ())
+
+    @classmethod
+    def disjunction(cls, left, right):
+        left, right = cls.of(left), cls.of(right)
+        return cls((), left.false_refinements + right.false_refinements)
+
+    def negated(self):
+        return Guard(self.false_refinements, self.true_refinements)
+
+    def refinements(self, outcome):
+        return list(
+            self.true_refinements if outcome else self.false_refinements
+        )
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Guard)
+            and self.true_refinements == other.true_refinements
+            and self.false_refinements == other.false_refinements
+        )
+
+    def __hash__(self):
+        return hash((self.true_refinements, self.false_refinements))
+
+
+def kind_join(kind_a, kind_b):
+    """Strongest kind both can stand in for (lattice join toward weak).
+
+    ``None`` (no permission) joined with anything is ``None`` — a
+    permission is only available after a join if available on all paths.
+    """
+    if kind_a is None or kind_b is None:
+        return None
+    if kind_a == kind_b:
+        return kind_a
+    common = kinds.satisfying_common(kind_a, kind_b)
+    if not common:
+        return None
+    return kinds.strongest(common)
+
+
+class Context:
+    """An immutable-by-convention flow fact."""
+
+    __slots__ = ("bindings", "perms", "tests")
+
+    def __init__(self, bindings=None, perms=None, tests=None):
+        self.bindings = dict(bindings or {})  # var -> cell
+        self.perms = dict(perms or {})  # cell -> Perm
+        self.tests = dict(tests or {})  # var -> StateTest
+
+    def copy(self):
+        return Context(self.bindings, self.perms, self.tests)
+
+    # -- lookups ---------------------------------------------------------------
+
+    def cell_of(self, var):
+        return self.bindings.get(var)
+
+    def perm_of_var(self, var):
+        cell = self.bindings.get(var)
+        if cell is None:
+            return NO_PERM
+        return self.perms.get(cell, NO_PERM)
+
+    def perm_of_cell(self, cell):
+        return self.perms.get(cell, NO_PERM)
+
+    # -- updates (return new contexts) -------------------------------------------
+
+    def bind_fresh(self, var, perm, tag="cell"):
+        """Bind ``var`` to a new cell holding ``perm``."""
+        new = self.copy()
+        cell = fresh_cell(tag)
+        new.bindings[var] = cell
+        new.perms[cell] = perm
+        new.tests.pop(var, None)
+        return new
+
+    def bind_alias(self, var, other_var):
+        """Make ``var`` an alias of ``other_var``'s cell."""
+        new = self.copy()
+        cell = new.bindings.get(other_var)
+        if cell is None:
+            cell = fresh_cell("unknown")
+            new.bindings[other_var] = cell
+        new.bindings[var] = cell
+        if other_var in new.tests:
+            new.tests[var] = new.tests[other_var]
+        else:
+            new.tests.pop(var, None)
+        return new
+
+    def bind_scalar(self, var):
+        """Bind ``var`` to a non-object (scalar) value: no cell."""
+        new = self.copy()
+        new.bindings.pop(var, None)
+        new.tests.pop(var, None)
+        return new
+
+    def set_perm(self, cell, perm):
+        new = self.copy()
+        new.perms[cell] = perm
+        return new
+
+    def set_test(self, var, state_test):
+        new = self.copy()
+        new.tests[var] = state_test
+        return new
+
+    def refine_state(self, cell, state, state_space=None):
+        """Strengthen the cell's known state (used on state-test branches)."""
+        if state is None:
+            return self
+        perm = self.perms.get(cell)
+        if perm is None:
+            return self
+        refined = state
+        if state_space is not None:
+            met = state_space.meet(perm.state, state)
+            refined = met if met is not None else state
+        new = self.copy()
+        new.perms[cell] = perm.replace(state=refined)
+        return new
+
+    # -- lattice operations ----------------------------------------------------------
+
+    def join(self, other, state_space_of=None):
+        """Path join: keep only agreements; weaken kinds; join states."""
+        bindings = {}
+        perms = {}
+        tests = {}
+        for var in set(self.bindings) & set(other.bindings):
+            cell_a = self.bindings[var]
+            cell_b = other.bindings[var]
+            perm_a = self.perms.get(cell_a, NO_PERM)
+            perm_b = other.perms.get(cell_b, NO_PERM)
+            if cell_a == cell_b:
+                cell = cell_a
+            else:
+                cell = ("join", var)
+            bindings[var] = cell
+            joined_kind = kind_join(perm_a.kind, perm_b.kind)
+            class_name = perm_a.class_name or perm_b.class_name
+            if perm_a.state == perm_b.state:
+                state = perm_a.state
+            else:
+                state = ALIVE
+                if state_space_of is not None and class_name is not None:
+                    space = state_space_of(class_name)
+                    if space is not None:
+                        state = space.join(perm_a.state, perm_b.state)
+            existing = perms.get(cell)
+            candidate = Perm(joined_kind, state, class_name)
+            if existing is not None and existing != candidate:
+                perms[cell] = Perm(
+                    kind_join(existing.kind, candidate.kind), ALIVE, class_name
+                )
+            else:
+                perms[cell] = candidate
+        for var in set(self.tests) & set(other.tests):
+            if self.tests[var] == other.tests[var] and var in bindings:
+                tests[var] = self.tests[var]
+        return Context(bindings, perms, tests)
+
+    def __eq__(self, other):
+        if not isinstance(other, Context):
+            return False
+        # Compare up to cell renaming: project to var -> (perm) plus the
+        # must-alias partition of variables.
+        return (
+            self._signature() == other._signature()
+        )
+
+    def _signature(self):
+        groups = {}
+        for var, cell in self.bindings.items():
+            groups.setdefault(cell, []).append(var)
+        partition = frozenset(
+            frozenset(group) for group in groups.values()
+        )
+        var_perms = frozenset(
+            (var, self.perm_of_var(var)) for var in self.bindings
+        )
+        # Tests compare up to cell renaming: cells are canonicalized to
+        # the variable group bound to them.
+        canonical_cell = {
+            cell: frozenset(group) for cell, group in groups.items()
+        }
+
+        def canonical(test):
+            guard = Guard.of(test)
+            return (
+                tuple(
+                    (canonical_cell.get(cell, frozenset()), state)
+                    for cell, state in guard.true_refinements
+                ),
+                tuple(
+                    (canonical_cell.get(cell, frozenset()), state)
+                    for cell, state in guard.false_refinements
+                ),
+            )
+
+        test_sig = frozenset(
+            (var, canonical(test)) for var, test in self.tests.items()
+        )
+        return (partition, var_perms, test_sig)
+
+    def __hash__(self):
+        return hash(self._signature())
+
+    def __repr__(self):
+        parts = [
+            "%s:%s" % (var, self.perm_of_var(var)) for var in sorted(self.bindings)
+        ]
+        return "Context(%s)" % ", ".join(parts)

@@ -1,0 +1,68 @@
+"""Warning records produced by the PLURAL checker."""
+
+
+class WarningKind:
+    """Enumeration of checker warning categories."""
+
+    MISSING_PERMISSION = "missing-permission"
+    INSUFFICIENT_PERMISSION = "insufficient-permission"
+    WRONG_STATE = "wrong-state"
+    READONLY_FIELD_WRITE = "readonly-field-write"
+    RETURN_MISMATCH = "return-mismatch"
+    POST_MISMATCH = "postcondition-mismatch"
+
+    ALL = (
+        MISSING_PERMISSION,
+        INSUFFICIENT_PERMISSION,
+        WRONG_STATE,
+        READONLY_FIELD_WRITE,
+        RETURN_MISMATCH,
+        POST_MISMATCH,
+    )
+
+
+class Warning:
+    """One checker warning, anchored to a method and source line."""
+
+    __slots__ = ("kind", "method", "line", "message")
+
+    def __init__(self, kind, method, line, message):
+        self.kind = kind
+        self.method = method  # qualified name string
+        self.line = line
+        self.message = message
+
+    def key(self):
+        """Deduplication key: one warning per (site, kind)."""
+        return (self.method, self.line, self.kind, self.message)
+
+    def __repr__(self):
+        return "Warning(%s, %s:%d, %s)" % (
+            self.kind,
+            self.method,
+            self.line,
+            self.message,
+        )
+
+    def format(self):
+        return "[%s] %s (line %d): %s" % (self.kind, self.method, self.line, self.message)
+
+
+def dedupe(warning_list):
+    """Stable-deduplicate warnings by site key."""
+    seen = set()
+    result = []
+    for warning in warning_list:
+        key = warning.key()
+        if key not in seen:
+            seen.add(key)
+            result.append(warning)
+    return result
+
+
+def summarize(warning_list):
+    """Counts per warning kind."""
+    counts = {}
+    for warning in warning_list:
+        counts[warning.kind] = counts.get(warning.kind, 0) + 1
+    return counts

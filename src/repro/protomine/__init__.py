@@ -1,0 +1,32 @@
+"""Static protocol mining — the paper's §5 future-work combination.
+
+ANEK infers *aliasing + state* specifications against a protocol that
+API developers already wrote down.  The related work the paper plans to
+combine with (Whaley et al., Alur et al., Perracotta, MAPO) goes the
+other way: it *mines* the protocol itself from how clients call the API.
+This package implements a static miner in that family:
+
+* ``traces`` — extracts per-object call sequences from client CFGs
+  (loop-bounded path enumeration over the must-alias witnesses);
+* ``mining`` — aggregates the sequences into a usage model: a
+  may-follow relation, guard detection (methods whose boolean result is
+  branched on before another call — ``hasNext``/``ready`` style state
+  tests), and a candidate ``@States`` hierarchy with spec skeletons.
+
+On the iterator corpus the miner recovers the Figure 1 protocol: it
+identifies ``hasNext`` as the state test guarding ``next`` and proposes
+the HASNEXT/END refinements of ALIVE.
+"""
+
+from repro.protomine.install import install_protocol, strip_protocol
+from repro.protomine.mining import MinedProtocol, mine_protocol
+from repro.protomine.traces import CallEvent, extract_traces
+
+__all__ = [
+    "CallEvent",
+    "extract_traces",
+    "MinedProtocol",
+    "mine_protocol",
+    "install_protocol",
+    "strip_protocol",
+]

@@ -1,0 +1,80 @@
+"""Installing a mined protocol onto an API class.
+
+Completes the mining → checking loop: the mined ``@States`` hierarchy
+and spec skeletons are written onto the API class's AST, after which the
+ordinary ANEK + PLURAL pipeline runs against a protocol no human wrote.
+"""
+
+from repro.core.applier import apply_spec_to_method
+from repro.java import ast
+
+
+def install_protocol(program, mined, replace=True):
+    """Attach the mined protocol to its class; returns methods annotated.
+
+    Installs the ``@States`` declaration on the class (and any program
+    classes implementing it) and the mined state-test / guarded-method
+    specs on the matching method declarations.
+    """
+    decl = program.lookup_class(mined.class_name)
+    if decl is None:
+        raise ValueError("unknown protocol class %r" % mined.class_name)
+    declaration = mined.proposed_states_declaration()
+    targets = [decl]
+    for other in program.classes.values():
+        if other is not decl and program.is_subtype(
+            other.name, mined.class_name
+        ):
+            targets.append(other)
+    for target in targets:
+        if declaration:
+            _set_states_annotation(target, declaration, replace=replace)
+    annotated = 0
+    specs = mined.proposed_specs()
+    for target in targets:
+        for method in target.methods:
+            spec = specs.get(method.name)
+            if spec is None:
+                continue
+            if apply_spec_to_method(method, spec, replace=replace):
+                annotated += 1
+    return annotated
+
+
+def _set_states_annotation(decl, declaration, replace):
+    existing = [a for a in decl.annotations if a.name == "States"]
+    if existing and not replace:
+        return
+    decl.annotations = [
+        a for a in decl.annotations if a.name != "States"
+    ] + [ast.Annotation(name="States", arguments={"value": declaration})]
+
+
+def strip_protocol(program, class_name):
+    """Remove a class's protocol annotations (and its subtypes') —
+    produces the 'nobody wrote a protocol' starting point for mining."""
+    decl = program.lookup_class(class_name)
+    if decl is None:
+        raise ValueError("unknown protocol class %r" % class_name)
+    targets = [decl] + [
+        other
+        for other in program.classes.values()
+        if other is not decl and program.is_subtype(other.name, class_name)
+    ]
+    removed = 0
+    for target in targets:
+        before = len(target.annotations)
+        target.annotations = [
+            a for a in target.annotations if a.name != "States"
+        ]
+        removed += before - len(target.annotations)
+        for method in target.methods:
+            before = len(method.annotations)
+            method.annotations = [
+                a
+                for a in method.annotations
+                if a.name
+                not in ("Perm", "Spec", "TrueIndicates", "FalseIndicates")
+            ]
+            removed += before - len(method.annotations)
+    return removed

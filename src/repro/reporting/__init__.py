@@ -1,0 +1,5 @@
+"""Reporting: ASCII tables and the paper's experiment harnesses."""
+
+from repro.reporting.tables import Table, render_table
+
+__all__ = ["Table", "render_table"]

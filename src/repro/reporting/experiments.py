@@ -1,0 +1,404 @@
+"""Experiment harnesses regenerating the paper's tables and figures.
+
+Each ``table*`` function returns a structured result plus a rendered
+ASCII table whose rows mirror the paper's:
+
+* Table 1 — corpus statistics (classes, methods, lines, next() calls)
+* Table 2 — annotations/warnings/time for Original, Bierhoff, Anek,
+  and Anek Logical (DNF)
+* Table 3 — ANEK vs PLURAL local inference on the branchy program
+* Table 4 — quality of inferred specs vs the hand-annotation oracle
+
+Figures: 1 (iterator protocol), 4 (permission kinds), 6 (the PFG of the
+``copy`` method), 10 (pipeline stage trace).
+"""
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core import AnekPipeline, InferenceSettings
+from repro.core.logical import DidNotFinish, LogicalInference
+from repro.corpus import generate_pmd_corpus
+from repro.corpus.generator import (
+    generate_branchy_program,
+    generate_inlined_program,
+)
+from repro.corpus.iterator_api import ITERATOR_API_SOURCE
+from repro.corpus.oracle import (
+    MANUAL_ANNOTATION_MINUTES,
+    apply_oracle,
+    oracle_specs,
+)
+from repro.java.parser import parse_compilation_unit
+from repro.java.symbols import resolve_program
+from repro.permissions import kinds
+from repro.plural.checker import check_program
+from repro.plural.local_inference import LocalFractionInference
+from repro.reporting.tables import Table, format_seconds
+
+
+# ---------------------------------------------------------------------------
+# Shared corpus handling
+# ---------------------------------------------------------------------------
+
+
+class PmdExperiment:
+    """Runs the Table 1/2/4 experiments over one generated corpus."""
+
+    def __init__(self, corpus_spec=None, settings=None, logical_budget=None):
+        self.bundle = generate_pmd_corpus(corpus_spec)
+        self.settings = settings or InferenceSettings()
+        self.logical_budget = logical_budget
+        self._anek_result = None
+        self._anek_seconds = None
+
+    def fresh_program(self):
+        units = [
+            parse_compilation_unit(source)
+            for source in self.bundle.all_sources()
+        ]
+        return resolve_program(units)
+
+    # -- Table 1 ---------------------------------------------------------------
+
+    def table1(self):
+        program = self.fresh_program()
+        client_classes = [
+            name
+            for name in program.classes
+            if not self._is_api_class(name)
+        ]
+        client_methods = [
+            ref
+            for ref in program.all_methods()
+            if not self._is_api_class(ref.class_decl.name)
+        ]
+        next_calls = self._count_next_calls(program)
+        stats = {
+            "lines": self.bundle.line_count(),
+            "classes": len(client_classes),
+            "methods": len(client_methods),
+            "next_calls": next_calls,
+        }
+        table = Table(
+            "Table 1. Simple statistics for the synthetic PMD corpus.",
+            ["Statistic", "Value", "Paper (PMD)"],
+        )
+        table.add_row("Lines of Source", stats["lines"], 38483)
+        table.add_row("Number of Classes", stats["classes"], 463)
+        table.add_row("Number of Methods", stats["methods"], 3120)
+        table.add_row("Calls to Iterator.next()", stats["next_calls"], 170)
+        return stats, table
+
+    @staticmethod
+    def _is_api_class(name):
+        return name in (
+            "Iterator",
+            "Iterable",
+            "Collection",
+            "ArrayList",
+            "ListIterator",
+        )
+
+    def _count_next_calls(self, program):
+        from repro.analysis.callgraph import build_call_graph
+
+        graph = build_call_graph(program)
+        count = 0
+        for site in graph.sites:
+            if site.callee is None:
+                continue
+            if (
+                site.callee.method_decl.name == "next"
+                and program.is_subtype(site.callee.class_decl.name, "Iterator")
+            ):
+                count += 1
+        return count
+
+    # -- Table 2 ---------------------------------------------------------------
+
+    def run_original(self):
+        program = self.fresh_program()
+        start = time.perf_counter()
+        warnings = check_program(program)
+        return Table2Row(
+            "Original", 0, len(warnings), time.perf_counter() - start,
+            annotation_seconds=0.0,
+        )
+
+    def run_bierhoff(self):
+        program = self.fresh_program()
+        annotated = apply_oracle(program, self.bundle)
+        start = time.perf_counter()
+        warnings = check_program(program)
+        return Table2Row(
+            "Bierhoff (oracle)",
+            annotated,
+            len(warnings),
+            time.perf_counter() - start,
+            annotation_seconds=MANUAL_ANNOTATION_MINUTES * 60.0,
+            note="annotation time simulated per Bierhoff's thesis",
+        )
+
+    def run_anek(self):
+        program = self.fresh_program()
+        start = time.perf_counter()
+        pipeline = AnekPipeline(settings=self.settings)
+        result = pipeline.run_on_program(program)
+        elapsed = time.perf_counter() - start
+        self._anek_result = result
+        self._anek_seconds = elapsed
+        return Table2Row(
+            "Anek",
+            result.inferred_annotation_count,
+            len(result.warnings),
+            elapsed,
+            annotation_seconds=sum(
+                stage.seconds
+                for stage in result.stages
+                if stage.name != "plural-check"
+            ),
+        )
+
+    def run_anek_logical(self):
+        program = self.fresh_program()
+        inference = LogicalInference(program)
+        if self.logical_budget is not None:
+            inference.budget = self.logical_budget
+        start = time.perf_counter()
+        try:
+            inference.run()
+        except DidNotFinish as dnf:
+            return Table2Row(
+                "Anek Logical",
+                None,
+                None,
+                time.perf_counter() - start,
+                dnf=True,
+                note="joint space ~1e%d assignments"
+                % (len(str(dnf.space_size)) - 1),
+            )
+        return Table2Row(
+            "Anek Logical", None, None, time.perf_counter() - start
+        )
+
+    def table2(self):
+        rows = [
+            self.run_original(),
+            self.run_bierhoff(),
+            self.run_anek(),
+            self.run_anek_logical(),
+        ]
+        table = Table(
+            "Table 2. The results of running ANEK on the synthetic PMD corpus.",
+            ["Method", "Annotations", "Warnings", "Time Taken", "Notes"],
+        )
+        paper = {
+            "Original": (0, 45, "0"),
+            "Bierhoff (oracle)": (26, 3, "75min"),
+            "Anek": (31, 4, "3min 47sec"),
+            "Anek Logical": ("N/A", "N/A", "DNF"),
+        }
+        for row in rows:
+            time_text = "DNF" if row.dnf else format_seconds(
+                row.annotation_seconds
+                if row.annotation_seconds
+                else row.check_seconds
+            )
+            expected = paper.get(row.config, ("", "", ""))
+            table.add_row(
+                row.config,
+                "N/A" if row.annotations is None else row.annotations,
+                "N/A" if row.warnings is None else row.warnings,
+                time_text,
+                "paper: %s/%s/%s %s"
+                % (expected[0], expected[1], expected[2], row.note or ""),
+            )
+        return rows, table
+
+    # -- Table 4 ---------------------------------------------------------------
+
+    def table4(self):
+        if self._anek_result is None:
+            self.run_anek()
+        gold = oracle_specs(self.bundle)
+        # Compare client-side inference only: API classes and methods
+        # whose spec pre-existed inference (directly or via a supertype)
+        # are not ANEK's work product — except where the oracle annotated
+        # them (the state-test overrides), which must stay comparable.
+        preannotated = self._anek_result.preannotated_methods
+        inferred = {}
+        for ref, spec in self._anek_result.specs.items():
+            name = ref.qualified_name
+            if name not in gold:
+                if self._is_api_class(ref.class_decl.name):
+                    continue
+                if name in preannotated:
+                    continue
+            inferred[name] = spec
+        counts = categorize_specs(inferred, gold)
+        table = Table(
+            "Table 4. Comparison of by-hand annotations with Anek.",
+            ["Description", "Count", "Paper"],
+        )
+        paper = {
+            "Same": 14,
+            "ANEK Added Helpful Spec.": 6,
+            "ANEK Added Constraining Spec.": 1,
+            "ANEK Removed Spec.": 3,
+            "ANEK Changed Spec., More Restrictive": 6,
+            "ANEK Changed Spec., Wrong": 3,
+        }
+        for description, value in counts.items():
+            table.add_row(description, value, paper.get(description, ""))
+        return counts, table
+
+
+@dataclass
+class Table2Row:
+    config: str
+    annotations: Optional[int]
+    warnings: Optional[int]
+    check_seconds: float
+    annotation_seconds: float = 0.0
+    dnf: bool = False
+    note: str = ""
+
+
+# ---------------------------------------------------------------------------
+# Table 4 spec comparison
+# ---------------------------------------------------------------------------
+
+
+def categorize_specs(inferred, gold):
+    """Bucket inferred specs against the oracle (paper Table 4 rows)."""
+    from repro.reporting.specdiff import classify_pair
+
+    counts = {
+        "Same": 0,
+        "ANEK Added Helpful Spec.": 0,
+        "ANEK Added Constraining Spec.": 0,
+        "ANEK Removed Spec.": 0,
+        "ANEK Changed Spec., More Restrictive": 0,
+        "ANEK Changed Spec., Wrong": 0,
+    }
+    for name in set(inferred) | set(gold):
+        category = classify_pair(inferred.get(name), gold.get(name))
+        if category is not None:
+            counts[category] += 1
+    return counts
+
+
+# ---------------------------------------------------------------------------
+# Table 3: ANEK vs PLURAL local inference
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Table3Result:
+    anek_seconds: float = 0.0
+    local_seconds: float = 0.0
+    anek_warnings: int = 0
+    local_satisfiable: bool = True
+    branchy_lines: int = 0
+    inlined_lines: int = 0
+    table: object = None
+
+
+def table3_experiment(methods=24, settings=None):
+    """ANEK on the multi-method branchy program vs PLURAL's local
+    fraction inference on the fully inlined version."""
+    branchy = generate_branchy_program(methods)
+    inlined = generate_inlined_program(methods)
+    result = Table3Result(
+        branchy_lines=len(branchy.splitlines()),
+        inlined_lines=len(inlined.splitlines()),
+    )
+    # ANEK on the branchy (modular) program.
+    start = time.perf_counter()
+    pipeline = AnekPipeline(settings=settings, run_checker=False,
+                            apply_annotations=False)
+    anek = pipeline.run_on_sources([ITERATOR_API_SOURCE, branchy])
+    result.anek_seconds = time.perf_counter() - start
+    result.anek_warnings = len(anek.warnings)
+    # PLURAL local inference on the inlined program.
+    program = resolve_program(
+        [
+            parse_compilation_unit(ITERATOR_API_SOURCE),
+            parse_compilation_unit(inlined),
+        ]
+    )
+    inference = LocalFractionInference(program)
+    inlined_class = program.lookup_class("Inlined")
+    from repro.java.symbols import MethodRef
+
+    run_ref = MethodRef(inlined_class, inlined_class.find_method("run")[0])
+    start = time.perf_counter()
+    local = inference.infer_method(run_ref)
+    result.local_seconds = time.perf_counter() - start
+    result.local_satisfiable = local.satisfiable
+    table = Table(
+        "Table 3. ANEK vs PLURAL local inference (inlined program).",
+        ["Inference Tool", "Time Taken", "Notes"],
+    )
+    table.add_row(
+        "ANEK (modular, %d methods)" % methods,
+        format_seconds(result.anek_seconds),
+        "paper: 22 sec",
+    )
+    table.add_row(
+        "Plural Local Inference (inlined)",
+        format_seconds(result.local_seconds),
+        "paper: 181 sec; system %dx%d, satisfiable=%s"
+        % (local.equations, local.variables, local.satisfiable),
+    )
+    result.table = table
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures
+# ---------------------------------------------------------------------------
+
+
+def figure1_protocol():
+    """Figure 1: the iterator protocol statechart (DOT)."""
+    from repro.permissions.states import iterator_state_space
+
+    return iterator_state_space().to_dot()
+
+
+def figure4_kinds():
+    """Figure 4: the five permission kinds."""
+    table = Table(
+        "Figure 4. The five permission kinds.",
+        ["Permission", "This reference", "Other references"],
+    )
+    for row in kinds.figure4_rows():
+        table.add_row(*row)
+    return table
+
+
+def figure6_pfg():
+    """Figure 6: the PFG generated for the copy method of Figure 5."""
+    from repro.core.pfg_builder import build_pfg
+    from repro.corpus.examples import figure5_sources
+    from repro.java.symbols import MethodRef
+
+    program = resolve_program(
+        [parse_compilation_unit(source) for source in figure5_sources()]
+    )
+    row = program.lookup_class("Row")
+    copy_ref = MethodRef(row, row.find_method("copy")[0])
+    return build_pfg(program, copy_ref)
+
+
+def figure10_pipeline_trace():
+    """Figure 10: the architecture, as an end-to-end stage trace."""
+    from repro.corpus.examples import figure3_sources
+
+    pipeline = AnekPipeline()
+    result = pipeline.run_on_sources(figure3_sources())
+    return result.describe_stages()

@@ -1,0 +1,109 @@
+"""Side-by-side comparison of inferred vs hand-written specifications.
+
+The drill-down behind Table 4: for every method either side annotates,
+print the oracle spec, the ANEK spec, and the category the comparison
+assigns (Same / Added / Removed / Changed).  Used by
+``examples/pmd_inference.py --diff`` and the test suite.
+"""
+
+from repro.permissions.spec import format_clauses
+
+
+def _clause_set(clauses):
+    return {(c.kind, c.target, c.state) for c in clauses}
+
+
+def _stronger_or_equal(spec_a, spec_b):
+    """Does spec_a demand at least what spec_b demands (per target)?"""
+    from repro.permissions import kinds
+
+    for clause_b in spec_b.requires:
+        matches = [
+            clause_a
+            for clause_a in spec_a.requires
+            if clause_a.target == clause_b.target
+        ]
+        if not matches:
+            return False
+        clause_a = matches[0]
+        if not kinds.satisfies(clause_a.kind, clause_b.kind):
+            return False
+    return True
+
+
+def classify_pair(anek_spec, gold_spec):
+    """The Table 4 category for one method (both specs may be None)."""
+    if gold_spec is None:
+        if anek_spec is None or anek_spec.is_empty:
+            return None
+        from repro.permissions import kinds
+
+        demanding = any(
+            clause.kind != kinds.PURE for clause in anek_spec.requires
+        )
+        return (
+            "ANEK Added Constraining Spec."
+            if demanding
+            else "ANEK Added Helpful Spec."
+        )
+    if anek_spec is None or anek_spec.is_empty:
+        return "ANEK Removed Spec."
+    if gold_spec.is_state_test and not anek_spec.is_state_test:
+        return "ANEK Removed Spec."
+    same = _clause_set(anek_spec.requires) == _clause_set(
+        gold_spec.requires
+    ) and _clause_set(anek_spec.ensures) == _clause_set(gold_spec.ensures)
+    if same:
+        return "Same"
+    if _stronger_or_equal(anek_spec, gold_spec) and len(
+        anek_spec.requires
+    ) >= len(gold_spec.requires):
+        return "ANEK Changed Spec., More Restrictive"
+    return "ANEK Changed Spec., Wrong"
+
+
+def _render_spec(spec):
+    if spec is None or spec.is_empty:
+        return "(none)"
+    parts = []
+    if spec.requires:
+        parts.append("requires " + format_clauses(spec.requires))
+    if spec.ensures:
+        parts.append("ensures " + format_clauses(spec.ensures))
+    if spec.true_indicates:
+        parts.append("@TrueIndicates(%s)" % spec.true_indicates)
+    if spec.false_indicates:
+        parts.append("@FalseIndicates(%s)" % spec.false_indicates)
+    return "; ".join(parts) or "(none)"
+
+
+def spec_diff(inferred, gold, include_same=True):
+    """Yield (method name, category, oracle text, anek text) rows.
+
+    ``inferred`` and ``gold`` map qualified method names to MethodSpecs.
+    """
+    rows = []
+    for name in sorted(set(inferred) | set(gold)):
+        anek_spec = inferred.get(name)
+        gold_spec = gold.get(name)
+        category = classify_pair(anek_spec, gold_spec)
+        if category is None:
+            continue
+        if category == "Same" and not include_same:
+            continue
+        rows.append(
+            (name, category, _render_spec(gold_spec), _render_spec(anek_spec))
+        )
+    return rows
+
+
+def render_spec_diff(inferred, gold, include_same=True):
+    """A printable report of the comparison."""
+    lines = ["Spec comparison (oracle vs ANEK):"]
+    for name, category, gold_text, anek_text in spec_diff(
+        inferred, gold, include_same=include_same
+    ):
+        lines.append("  %s  [%s]" % (name, category))
+        lines.append("    oracle: %s" % gold_text)
+        lines.append("    anek:   %s" % anek_text)
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Minimal ASCII table rendering for experiment output."""
+
+
+class Table:
+    """A titled table with a header row and string-able cells."""
+
+    def __init__(self, title, headers):
+        self.title = title
+        self.headers = list(headers)
+        self.rows = []
+
+    def add_row(self, *cells):
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                "expected %d cells, got %d" % (len(self.headers), len(cells))
+            )
+        self.rows.append([str(cell) for cell in cells])
+        return self
+
+    def render(self):
+        return render_table(self.title, self.headers, self.rows)
+
+    def __str__(self):
+        return self.render()
+
+
+def render_table(title, headers, rows):
+    """Render a boxed ASCII table."""
+    columns = len(headers)
+    widths = [len(str(headers[i])) for i in range(columns)]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+
+    def line(char="-", joint="+"):
+        return joint + joint.join(char * (w + 2) for w in widths) + joint
+
+    def fmt(cells):
+        return "| " + " | ".join(
+            str(cell).ljust(widths[i]) for i, cell in enumerate(cells)
+        ) + " |"
+
+    out = [title, line("="), fmt(headers), line("=")]
+    for row in rows:
+        out.append(fmt(row))
+    out.append(line("-"))
+    return "\n".join(out)
+
+
+def format_seconds(seconds):
+    """Human-ish duration: '3min 47sec' style like the paper."""
+    if seconds is None:
+        return "-"
+    if seconds < 60:
+        return "%.1f sec" % seconds
+    minutes = int(seconds // 60)
+    rest = seconds - 60 * minutes
+    return "%dmin %dsec" % (minutes, round(rest))

@@ -1,0 +1,178 @@
+"""Tests for the synthetic corpus generator and oracle."""
+
+import pytest
+
+from repro.corpus import CorpusSpec, generate_pmd_corpus
+from repro.corpus.generator import (
+    generate_branchy_program,
+    generate_inlined_program,
+)
+from repro.corpus.oracle import (
+    apply_oracle,
+    oracle_annotation_count,
+    oracle_specs,
+)
+from repro.java.parser import parse_compilation_unit
+from repro.java.symbols import resolve_program
+from repro.plural.checker import check_program
+
+
+@pytest.fixture(scope="module")
+def small_bundle():
+    return generate_pmd_corpus(CorpusSpec().scaled(0.08))
+
+
+@pytest.fixture(scope="module")
+def small_program(small_bundle):
+    return resolve_program(
+        [parse_compilation_unit(s) for s in small_bundle.all_sources()]
+    )
+
+
+class TestGeneratorDeterminism:
+    def test_same_spec_same_output(self):
+        spec = CorpusSpec().scaled(0.05)
+        first = generate_pmd_corpus(spec)
+        second = generate_pmd_corpus(spec)
+        assert first.sources == second.sources
+
+    def test_line_count_matches_spec(self, small_bundle):
+        assert small_bundle.line_count() == small_bundle.spec.lines
+
+    def test_full_spec_matches_table1(self):
+        spec = CorpusSpec()
+        assert spec.lines == 38483
+        assert spec.classes == 463
+        assert spec.methods == 3120
+        # next() call accounting: guarded + wrapper users + param
+        # consumers + unguarded + consumeFirst = 170.
+        total = (
+            spec.guarded_direct
+            + spec.wrapper_users
+            + spec.param_consumers
+            + spec.unguarded_direct
+            + 1
+        )
+        assert total == 170
+
+    def test_registry_covers_patterns(self, small_bundle):
+        tags = set(small_bundle.registry.values())
+        for expected in (
+            "wrapper",
+            "guarded",
+            "unguarded",
+            "wrapper-user",
+            "param-consumer",
+            "consume-first",
+            "conditional-caller",
+            "misleading-setter",
+            "state-test-override",
+            "filler",
+        ):
+            assert expected in tags
+
+
+class TestGeneratedCodeParses:
+    def test_all_sources_parse_and_resolve(self, small_program):
+        assert small_program.lookup_class("Iterator") is not None
+        assert small_program.lookup_class("Helper") is not None
+
+    def test_class_count_matches_spec(self, small_bundle, small_program):
+        api_classes = 5  # Iterator, Iterable, Collection, ListIterator, ArrayList
+        assert (
+            len(small_program.classes) - api_classes
+            == small_bundle.spec.classes
+        )
+
+    def test_method_count_matches_spec(self, small_bundle, small_program):
+        client_methods = [
+            ref
+            for ref in small_program.all_methods()
+            if ref.class_decl.name
+            not in ("Iterator", "Iterable", "Collection", "ListIterator", "ArrayList")
+        ]
+        assert len(client_methods) == small_bundle.spec.methods
+
+    def test_helper_class_resolves_consume_first(self, small_program):
+        ref = small_program.resolve_method("Helper", "consumeFirst", 1)
+        assert ref is not None
+
+
+class TestWarningAccounting:
+    def test_original_warning_count(self, small_bundle, small_program):
+        warnings = check_program(small_program)
+        spec = small_bundle.spec
+        expected = (
+            spec.unguarded_direct
+            + 2 * spec.wrapper_users
+            + 2 * spec.param_consumers
+            + 2  # consumeFirst body
+            + spec.misleading_setters  # unguarded hasNext probes
+        )
+        assert len(warnings) == expected
+
+    def test_oracle_eliminates_all_but_false_positives(self, small_bundle):
+        program = resolve_program(
+            [parse_compilation_unit(s) for s in small_bundle.all_sources()]
+        )
+        apply_oracle(program, small_bundle)
+        warnings = check_program(program)
+        assert len(warnings) == small_bundle.spec.unguarded_direct
+        assert all(w.kind == "wrong-state" for w in warnings)
+
+
+class TestOracle:
+    def test_oracle_covers_expected_patterns(self, small_bundle):
+        specs = oracle_specs(small_bundle)
+        expected = (
+            small_bundle.spec.wrappers
+            + small_bundle.spec.param_consumers
+            + 1
+            + small_bundle.spec.state_test_overrides
+            + small_bundle.spec.misleading_setters
+        )
+        assert oracle_annotation_count(small_bundle) == expected
+        assert len(specs) == expected
+
+    def test_full_scale_oracle_is_26(self):
+        bundle = generate_pmd_corpus(CorpusSpec())
+        assert oracle_annotation_count(bundle) == 26
+
+    def test_consume_first_demands_hasnext(self, small_bundle):
+        specs = oracle_specs(small_bundle)
+        consume = [
+            spec
+            for name, spec in specs.items()
+            if name.endswith("consumeFirst")
+        ][0]
+        assert consume.requires[0].state == "HASNEXT"
+
+    def test_state_test_specs_have_indicates(self, small_bundle):
+        specs = oracle_specs(small_bundle)
+        state_tests = [
+            spec for spec in specs.values() if spec.is_state_test
+        ]
+        assert len(state_tests) == small_bundle.spec.state_test_overrides
+
+
+class TestTable3Programs:
+    def test_branchy_program_parses(self):
+        source = generate_branchy_program(8)
+        unit = parse_compilation_unit(source)
+        assert unit.types[0].name == "Branchy"
+        assert len(unit.types[0].methods) == 8
+
+    def test_inlined_program_parses(self):
+        source = generate_inlined_program(8)
+        unit = parse_compilation_unit(source)
+        assert unit.types[0].name == "Inlined"
+        assert len(unit.types[0].methods) == 1
+
+    def test_default_branchy_size_near_400_lines(self):
+        source = generate_branchy_program(24)
+        assert 380 <= len(source.splitlines()) <= 440
+
+    def test_branchy_and_inlined_have_same_iterator_count(self):
+        branchy = generate_branchy_program(10)
+        inlined = generate_inlined_program(10)
+        assert branchy.count(".iterator()") == inlined.count(".iterator()")

@@ -1,0 +1,83 @@
+"""Tests for the inference-explanation diagnostics and its CLI."""
+
+import io
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.diagnostics import explain_method
+from tests.conftest import build_program, method_ref
+
+SOURCE = """
+class D {
+    @Perm("share")
+    Collection<Integer> items;
+    Iterator<Integer> createIter() { return items.iterator(); }
+    int total() {
+        int sum = 0;
+        Iterator<Integer> it = createIter();
+        while (it.hasNext()) { sum = sum + it.next(); }
+        return sum;
+    }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def diagnostics():
+    program = build_program(SOURCE)
+    return explain_method(program, method_ref(program, "D", "createIter"))
+
+
+class TestExplainMethod:
+    def test_model_metadata(self, diagnostics):
+        assert diagnostics.variables > 0
+        assert diagnostics.factors > 0
+        assert diagnostics.bp_iterations >= 1
+
+    def test_constraint_counts_present(self, diagnostics):
+        assert any(
+            rule.startswith("L1") for rule in diagnostics.constraint_counts
+        )
+        assert "H3" in diagnostics.constraint_counts  # create* method
+
+    def test_node_beliefs_cover_all_pfg_nodes(self, diagnostics):
+        labels = [node.label for node in diagnostics.nodes]
+        assert "PRE this" in labels
+        assert any("result iterator" in label for label in labels)
+
+    def test_result_node_believes_unique(self, diagnostics):
+        returns = [
+            node for node in diagnostics.nodes if node.kind == "return"
+        ]
+        assert returns
+        assert returns[0].best_kind == "unique"
+
+    def test_extracted_spec_matches_pipeline_behavior(self, diagnostics):
+        result_clauses = [
+            c for c in diagnostics.spec.ensures if c.target == "result"
+        ]
+        assert result_clauses
+        assert result_clauses[0].kind == "unique"
+
+    def test_render(self, diagnostics):
+        text = diagnostics.render()
+        assert "Inference explanation for D.createIter" in text
+        assert "beliefs per PFG node" in text
+        assert "extracted spec" in text
+
+
+class TestExplainCli:
+    def test_cli_explain(self, tmp_path):
+        path = tmp_path / "D.java"
+        path.write_text(SOURCE)
+        out = io.StringIO()
+        code = cli_main(["explain", str(path), "D.createIter"], out=out)
+        assert code == 0
+        assert "Inference explanation" in out.getvalue()
+
+    def test_cli_explain_unknown_method(self, tmp_path):
+        path = tmp_path / "D.java"
+        path.write_text(SOURCE)
+        code = cli_main(["explain", str(path), "D.missing"], out=io.StringIO())
+        assert code == 2

@@ -1,0 +1,114 @@
+"""Tests for dominator analysis and natural-loop detection."""
+
+import pytest
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dominance import build_dominator_tree
+from tests.conftest import build_program, method_ref
+
+
+def cfg_for(body, params="boolean p, boolean q"):
+    program = build_program(
+        "class T { void m(%s) { %s } }" % (params, body), include_api=False
+    )
+    ref = method_ref(program, "T", "m")
+    return build_cfg(program, ref.class_decl, ref.method_decl)
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        cfg = cfg_for("int x = 1; if (p) { x = 2; } int y = 3;")
+        tree = build_dominator_tree(cfg)
+        for node in cfg.reachable_nodes():
+            assert tree.dominates(cfg.entry, node)
+
+    def test_straight_line_chain(self):
+        cfg = cfg_for("int x = 1; int y = 2;")
+        tree = build_dominator_tree(cfg)
+        instr_nodes = cfg.instr_nodes()
+        assert tree.dominates(instr_nodes[0], instr_nodes[1])
+        assert not tree.dominates(instr_nodes[1], instr_nodes[0])
+
+    def test_branch_sides_do_not_dominate_join(self):
+        cfg = cfg_for("int x = 0; if (p) { x = 1; } else { x = 2; } int y = x;")
+        tree = build_dominator_tree(cfg)
+        assigns = [
+            n for n in cfg.instr_nodes()
+            if n.instr.defined() == "x" and "1" in str(n.instr)
+        ]
+        join_uses = [
+            n for n in cfg.instr_nodes() if n.instr.defined() == "y"
+        ]
+        assert assigns and join_uses
+        assert not tree.dominates(assigns[0], join_uses[0])
+
+    def test_branch_node_dominates_both_sides(self):
+        cfg = cfg_for("if (p) { int a = 1; } else { int b = 2; }")
+        tree = build_dominator_tree(cfg)
+        branch = [n for n in cfg.nodes if n.kind == "branch"][0]
+        for node in cfg.instr_nodes():
+            assert tree.dominates(branch, node)
+
+    def test_dominance_is_reflexive(self):
+        cfg = cfg_for("int x = 1;")
+        tree = build_dominator_tree(cfg)
+        for node in cfg.reachable_nodes():
+            assert tree.dominates(node, node)
+
+    def test_immediate_dominator_of_entry_is_entry(self):
+        cfg = cfg_for("int x = 1;")
+        tree = build_dominator_tree(cfg)
+        assert tree.immediate_dominator(cfg.entry) is cfg.entry
+
+
+class TestLoops:
+    def test_while_loop_detected(self):
+        cfg = cfg_for("while (p) { int x = 1; }")
+        tree = build_dominator_tree(cfg)
+        loops = tree.natural_loops()
+        assert len(loops) == 1
+        body = next(iter(loops.values()))
+        assert len(body) >= 2
+
+    def test_loop_body_contains_loop_statements(self):
+        cfg = cfg_for("int x = 0; while (p) { x = x + 1; }")
+        tree = build_dominator_tree(cfg)
+        loops = tree.natural_loops()
+        body = next(iter(loops.values()))
+        increments = [
+            n for n in cfg.instr_nodes() if "x +" in str(n.instr)
+        ]
+        assert increments[0].node_id in body
+
+    def test_statement_after_loop_not_in_body(self):
+        cfg = cfg_for("while (p) { int x = 1; } int y = 2;")
+        tree = build_dominator_tree(cfg)
+        body = next(iter(tree.natural_loops().values()))
+        after = [n for n in cfg.instr_nodes() if n.instr.defined() == "y"]
+        assert after[0].node_id not in body
+
+    def test_nested_loops(self):
+        cfg = cfg_for("while (p) { while (q) { int x = 1; } }")
+        tree = build_dominator_tree(cfg)
+        loops = tree.natural_loops()
+        assert len(loops) == 2
+        inner_stmt = [
+            n for n in cfg.instr_nodes() if n.instr.defined() == "x"
+        ][0]
+        assert tree.loop_depth(inner_stmt) == 2
+
+    def test_no_loops_in_straight_line(self):
+        cfg = cfg_for("int x = 1; if (p) { x = 2; }")
+        tree = build_dominator_tree(cfg)
+        assert tree.natural_loops() == {}
+
+    def test_back_edges_match_loop_count(self):
+        cfg = cfg_for("while (p) { int a = 1; } while (q) { int b = 2; }")
+        tree = build_dominator_tree(cfg)
+        assert len(tree.back_edges()) == 2
+        assert len(tree.natural_loops()) == 2
+
+    def test_do_while_loop_detected(self):
+        cfg = cfg_for("do { int x = 1; } while (p);")
+        tree = build_dominator_tree(cfg)
+        assert len(tree.natural_loops()) == 1

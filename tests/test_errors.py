@@ -1,0 +1,91 @@
+"""Error reporting: positions, messages, and graceful failure modes."""
+
+import pytest
+
+from repro.java.errors import (
+    FrontendError,
+    JavaSyntaxError,
+    LexError,
+    ResolutionError,
+)
+from repro.java.lexer import tokenize
+from repro.java.parser import parse_compilation_unit
+
+
+class TestErrorPositions:
+    def test_lex_error_carries_position(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("int x = #;")
+        assert exc.value.line == 1
+        assert exc.value.column == 9
+        assert "line 1" in str(exc.value)
+
+    def test_lex_error_on_later_line(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("int a;\nint b = `;")
+        assert exc.value.line == 2
+
+    def test_parse_error_carries_position(self):
+        with pytest.raises(JavaSyntaxError) as exc:
+            parse_compilation_unit("class X {\n  int = 5;\n}")
+        assert exc.value.line == 2
+
+    def test_error_without_position_formats_plain(self):
+        error = FrontendError("boom")
+        assert str(error) == "boom"
+
+
+class TestParserFailureModes:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "class {}",  # missing name
+            "class X { void m( { } }",  # bad parameter list
+            "class X { void m() { if } }",  # bad statement
+            "class X { void m() { return 1 } }",  # missing semicolon
+            "class X { int x = ; }",  # missing initializer
+            "interface I { void m() }",  # body end without semicolon
+            "class X extends { }",  # missing supertype
+            "@Perm( class X {}",  # unterminated annotation
+        ],
+    )
+    def test_malformed_programs_raise_syntax_errors(self, source):
+        with pytest.raises(JavaSyntaxError):
+            parse_compilation_unit(source)
+
+    def test_nested_types_rejected_with_clear_message(self):
+        with pytest.raises(JavaSyntaxError) as exc:
+            parse_compilation_unit("class X { class Y { } }")
+        assert "subset" in str(exc.value)
+
+    def test_error_messages_name_the_offender(self):
+        with pytest.raises(JavaSyntaxError) as exc:
+            parse_compilation_unit("class X { void m() { foo(; } }")
+        assert "';'" in str(exc.value) or "';" in str(exc.value)
+
+
+class TestResolutionErrors:
+    def test_duplicate_types(self):
+        from repro.java.symbols import resolve_program
+
+        units = [
+            parse_compilation_unit("class Dup {}"),
+            parse_compilation_unit("class Dup {}"),
+        ]
+        with pytest.raises(ResolutionError) as exc:
+            resolve_program(units)
+        assert "Dup" in str(exc.value)
+
+
+class TestSpecErrors:
+    def test_unknown_kind(self):
+        from repro.permissions.spec import SpecParseError, parse_perm_clauses
+
+        with pytest.raises(SpecParseError):
+            parse_perm_clauses("owner(this)")
+
+    def test_garbage_clause(self):
+        from repro.permissions.spec import SpecParseError, parse_perm_clauses
+
+        with pytest.raises(SpecParseError):
+            parse_perm_clauses("full(this) at HASNEXT")

@@ -1,0 +1,340 @@
+"""Tests for the factor-graph engine: factors, BP, exact solving."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.factorgraph import (
+    FactorGraph,
+    predicate_factor,
+    run_sum_product,
+    soft_equality,
+)
+from repro.factorgraph.compile import add_soft_all_equal, add_soft_one_of
+from repro.factorgraph.exact import (
+    assignment_space_size,
+    map_assignment,
+    run_exact,
+)
+from repro.factorgraph.factors import (
+    Factor,
+    conditional_predicate_factor,
+    evidence_factor,
+)
+from repro.factorgraph.variables import Variable, make_prior
+
+DOMAIN = ("a", "b", "c")
+
+
+def _not_equal(x, y):
+    return x != y
+
+
+def _all_equal(x, y, z):
+    return x == y == z
+
+
+class TestVariables:
+    def test_default_prior_is_uniform(self):
+        var = Variable("x", DOMAIN)
+        assert np.allclose(var.prior, 1.0 / 3)
+
+    def test_prior_is_normalized(self):
+        var = Variable("x", DOMAIN, prior=[2, 1, 1])
+        assert np.isclose(var.prior.sum(), 1.0)
+        assert np.isclose(var.prior[0], 0.5)
+
+    def test_bad_prior_shape_raises(self):
+        with pytest.raises(ValueError):
+            Variable("x", DOMAIN, prior=[1, 2])
+
+    def test_zero_mass_prior_raises(self):
+        with pytest.raises(ValueError):
+            Variable("x", DOMAIN, prior=[0, 0, 0])
+
+    def test_make_prior(self):
+        prior = make_prior(DOMAIN, {"a": 9, "b": 1})
+        assert np.isclose(prior[0], 0.9)
+        assert prior[2] == 0.0
+
+    def test_tiny_domain_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("x", ("only",))
+
+
+class TestFactors:
+    def test_predicate_factor_values(self):
+        x = Variable("x", DOMAIN)
+        y = Variable("y", DOMAIN)
+        factor = predicate_factor("ne", [x, y], _not_equal, 0.9)
+        assert factor.value({"x": "a", "y": "b"}) == pytest.approx(0.9)
+        assert factor.value({"x": "a", "y": "a"}) == pytest.approx(0.1)
+
+    def test_soft_equality_requires_same_domain(self):
+        x = Variable("x", DOMAIN)
+        z = Variable("z", ("p", "q"))
+        with pytest.raises(ValueError):
+            soft_equality("eq", x, z, 0.9)
+
+    def test_table_shape_validation(self):
+        x = Variable("x", DOMAIN)
+        with pytest.raises(ValueError):
+            Factor("bad", [x], np.ones((2,)))
+
+    def test_negative_table_rejected(self):
+        x = Variable("x", DOMAIN)
+        with pytest.raises(ValueError):
+            Factor("bad", [x], np.array([-1.0, 1.0, 1.0]))
+
+    def test_message_to_marginalizes_other_axes(self):
+        x = Variable("x", DOMAIN)
+        y = Variable("y", DOMAIN)
+        factor = soft_equality("eq", x, y, 1.0)
+        message = factor.message_to(
+            x, {"y": np.array([1.0, 0.0, 0.0]), "x": np.ones(3) / 3}
+        )
+        assert message[0] > message[1]
+
+    def test_conditional_factor_slices_sum_to_one(self):
+        x = Variable("x", DOMAIN)
+        y = Variable("y", DOMAIN)
+        factor = conditional_predicate_factor(
+            "cond", [x, y], _not_equal, 0.9, condition_axes=(0,)
+        )
+        sums = factor.table.sum(axis=1)
+        assert np.allclose(sums, 1.0)
+
+    def test_evidence_factor_concentrates(self):
+        x = Variable("x", DOMAIN)
+        factor = evidence_factor("ev", x, "b", 0.8)
+        assert factor.table[1] == pytest.approx(0.8)
+        assert factor.table[0] == pytest.approx(0.1)
+
+    def test_factor_table_caching_by_named_predicate(self):
+        x = Variable("x", DOMAIN)
+        y = Variable("y", DOMAIN)
+        f1 = predicate_factor("one", [x, y], _not_equal, 0.9)
+        f2 = predicate_factor("two", [x, y], _not_equal, 0.9)
+        assert f1.table is f2.table  # cache hit
+
+
+class TestGraph:
+    def test_duplicate_variable_same_domain_is_shared(self):
+        graph = FactorGraph()
+        a = graph.add_variable("x", DOMAIN)
+        b = graph.add_variable("x", DOMAIN)
+        assert a is b
+
+    def test_duplicate_variable_different_domain_raises(self):
+        graph = FactorGraph()
+        graph.add_variable("x", DOMAIN)
+        with pytest.raises(ValueError):
+            graph.add_variable("x", ("p", "q"))
+
+    def test_factor_with_unknown_variable_raises(self):
+        graph = FactorGraph()
+        ghost = Variable("ghost", DOMAIN)
+        with pytest.raises(ValueError):
+            graph.add_factor(
+                predicate_factor("f", [ghost], lambda v: True, 0.9)
+            )
+
+    def test_unnormalized_joint_includes_priors(self):
+        graph = FactorGraph()
+        graph.add_variable("x", DOMAIN, prior=make_prior(DOMAIN, {"a": 1}))
+        assert graph.unnormalized_joint({"x": "a"}) == pytest.approx(1.0)
+        assert graph.unnormalized_joint({"x": "b"}) == pytest.approx(0.0)
+
+
+class TestExact:
+    def test_single_variable_marginal_is_prior(self):
+        graph = FactorGraph()
+        graph.add_variable("x", DOMAIN, prior=make_prior(DOMAIN, {"a": 3, "b": 1}))
+        result = run_exact(graph)
+        assert result.marginals["x"][0] == pytest.approx(0.75)
+
+    def test_hard_equality_couples_variables(self):
+        graph = FactorGraph()
+        x = graph.add_variable("x", DOMAIN, prior=make_prior(DOMAIN, {"a": 1}))
+        y = graph.add_variable("y", DOMAIN)
+        graph.add_factor(soft_equality("eq", x, y, 1.0))
+        result = run_exact(graph)
+        assert result.marginals["y"][0] > 0.99
+
+    def test_budget_exceeded_raises(self):
+        graph = FactorGraph()
+        for index in range(10):
+            graph.add_variable("v%d" % index, DOMAIN)
+        with pytest.raises(ValueError):
+            run_exact(graph, budget=100)
+
+    def test_space_size(self):
+        graph = FactorGraph()
+        graph.add_variable("x", DOMAIN)
+        graph.add_variable("y", ("p", "q"))
+        assert assignment_space_size(graph) == 6
+
+    def test_map_assignment(self):
+        graph = FactorGraph()
+        x = graph.add_variable("x", DOMAIN, prior=make_prior(DOMAIN, {"a": 5, "b": 1}))
+        assignment, weight = map_assignment(graph)
+        assert assignment["x"] == "a"
+
+
+class TestSumProduct:
+    def test_tree_marginals_match_exact(self):
+        graph = FactorGraph()
+        a = graph.add_variable("a", DOMAIN, prior=make_prior(DOMAIN, {"a": 8, "b": 1, "c": 1}))
+        b = graph.add_variable("b", DOMAIN)
+        c = graph.add_variable("c", DOMAIN)
+        graph.add_factor(soft_equality("ab", a, b, 0.9))
+        graph.add_factor(soft_equality("bc", b, c, 0.9))
+        bp = run_sum_product(graph)
+        exact = run_exact(graph)
+        for name in ("a", "b", "c"):
+            assert np.allclose(bp.marginals[name], exact.marginals[name], atol=1e-6)
+        assert bp.converged
+
+    def test_most_likely(self):
+        graph = FactorGraph()
+        x = graph.add_variable("x", DOMAIN, prior=make_prior(DOMAIN, {"c": 5, "a": 1}))
+        bp = run_sum_product(graph)
+        value, prob = bp.most_likely(x)
+        assert value == "c"
+        assert prob > 0.5
+
+    def test_loopy_graph_still_produces_distributions(self):
+        graph = FactorGraph()
+        names = ["x", "y", "z"]
+        variables = [graph.add_variable(n, DOMAIN) for n in names]
+        graph.add_factor(soft_equality("xy", variables[0], variables[1], 0.9))
+        graph.add_factor(soft_equality("yz", variables[1], variables[2], 0.9))
+        graph.add_factor(soft_equality("zx", variables[2], variables[0], 0.9))
+        bp = run_sum_product(graph, max_iters=100, damping=0.3)
+        for name in names:
+            marginal = bp.marginals[name]
+            assert np.isclose(marginal.sum(), 1.0)
+            assert (marginal >= 0).all()
+
+    def test_damping_does_not_change_tree_fixpoint(self):
+        graph = FactorGraph()
+        a = graph.add_variable("a", DOMAIN, prior=make_prior(DOMAIN, {"a": 4, "b": 1, "c": 1}))
+        b = graph.add_variable("b", DOMAIN)
+        graph.add_factor(soft_equality("ab", a, b, 0.8))
+        plain = run_sum_product(graph, damping=0.0)
+        damped = run_sum_product(graph, damping=0.4, max_iters=200)
+        assert np.allclose(
+            plain.marginals["b"], damped.marginals["b"], atol=1e-4
+        )
+
+    def test_probability_accessor(self):
+        graph = FactorGraph()
+        graph.add_variable("x", DOMAIN, prior=make_prior(DOMAIN, {"a": 1}))
+        bp = run_sum_product(graph)
+        assert bp.probability("x", "a", graph=graph) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestCompile:
+    def test_one_of_direct_form(self):
+        graph = FactorGraph()
+        node = graph.add_variable("n", DOMAIN)
+        edges = [graph.add_variable("e%d" % i, DOMAIN) for i in range(2)]
+        added = add_soft_one_of(graph, "sel", node, edges, 0.9)
+        assert len(added) == 1
+        assert graph.variable_count == 3  # no auxiliaries
+
+    def test_one_of_chain_decomposition(self):
+        graph = FactorGraph()
+        node = graph.add_variable("n", DOMAIN)
+        edges = [graph.add_variable("e%d" % i, DOMAIN) for i in range(6)]
+        add_soft_one_of(graph, "sel", node, edges, 0.9)
+        aux = [name for name in graph.variables if "$match" in name]
+        assert len(aux) == 6
+        # Every factor stays at bounded arity.
+        assert max(factor.arity for factor in graph.factors) <= 4
+
+    def test_chain_semantics_match_direct_on_small_case(self):
+        def build(chain):
+            graph = FactorGraph()
+            node = graph.add_variable("n", ("p", "q"))
+            edges = [
+                graph.add_variable(
+                    "e%d" % i, ("p", "q"), prior=make_prior(("p", "q"), {"p": 9, "q": 1})
+                )
+                for i in range(5)
+            ]
+            if chain:
+                import repro.factorgraph.compile as compile_mod
+
+                old = compile_mod.MAX_DIRECT_ARITY
+                compile_mod.MAX_DIRECT_ARITY = 2
+                try:
+                    add_soft_one_of(graph, "sel", node, edges, 0.9)
+                finally:
+                    compile_mod.MAX_DIRECT_ARITY = old
+            else:
+                add_soft_one_of(graph, "sel", node, edges, 0.9)
+            return graph, node
+
+        direct_graph, _ = build(chain=False)
+        chain_graph, _ = build(chain=True)
+        direct = run_exact(direct_graph).marginals["n"]
+        chained = run_exact(chain_graph).marginals["n"]
+        assert np.allclose(direct, chained, atol=0.05)
+
+    def test_all_equal_adds_pairwise_factors(self):
+        graph = FactorGraph()
+        node = graph.add_variable("n", DOMAIN)
+        edges = [graph.add_variable("e%d" % i, DOMAIN) for i in range(3)]
+        added = add_soft_all_equal(graph, "eq", node, edges, 0.9)
+        assert len(added) == 3
+
+
+@st.composite
+def tree_graph(draw):
+    """A random tree-shaped factor graph over small domains."""
+    count = draw(st.integers(min_value=2, max_value=6))
+    domain = ("u", "v", "w")
+    graph = FactorGraph()
+    variables = []
+    for index in range(count):
+        weights = {
+            value: draw(st.integers(min_value=1, max_value=9))
+            for value in domain
+        }
+        variables.append(
+            graph.add_variable(
+                "x%d" % index, domain, prior=make_prior(domain, weights)
+            )
+        )
+    for index in range(1, count):
+        parent = draw(st.integers(min_value=0, max_value=index - 1))
+        strength = draw(st.floats(min_value=0.6, max_value=0.95))
+        graph.add_factor(
+            soft_equality(
+                "t%d" % index, variables[parent], variables[index], strength
+            )
+        )
+    return graph
+
+
+class TestPropertyBased:
+    @given(tree_graph())
+    @settings(max_examples=40, deadline=None)
+    def test_bp_exact_on_random_trees(self, graph):
+        """Sum-product is exact on trees — the textbook guarantee."""
+        bp = run_sum_product(graph, max_iters=100)
+        exact = run_exact(graph)
+        for name in graph.variables:
+            assert np.allclose(
+                bp.marginals[name], exact.marginals[name], atol=1e-4
+            )
+
+    @given(tree_graph())
+    @settings(max_examples=20, deadline=None)
+    def test_marginals_are_distributions(self, graph):
+        bp = run_sum_product(graph, max_iters=50)
+        for name, marginal in bp.marginals.items():
+            assert np.isclose(marginal.sum(), 1.0, atol=1e-9)
+            assert (marginal >= 0).all()

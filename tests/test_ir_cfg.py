@@ -1,0 +1,298 @@
+"""Tests for AST lowering (three-address IR) and CFG construction."""
+
+from repro.analysis import ir
+from repro.analysis.cfg import build_cfg
+from repro.analysis.callgraph import iter_instrs
+from repro.analysis.ir import lower_method
+from tests.conftest import build_program, method_ref
+
+
+def lower(body, params="Collection<Integer> c", extra=""):
+    program = build_program(
+        "class T { Collection<Integer> entries; %s void m(%s) { %s } }"
+        % (extra, params, body)
+    )
+    ref = method_ref(program, "T", "m")
+    return program, ref, lower_method(program, ref.class_decl, ref.method_decl)
+
+
+def cfg_of(body, params="Collection<Integer> c", extra=""):
+    program, ref, _ = lower(body, params, extra)
+    return build_cfg(program, ref.class_decl, ref.method_decl)
+
+
+def instrs_of(body, **kwargs):
+    _, _, lowered = lower(body, **kwargs)
+    return list(iter_instrs(lowered.body))
+
+
+class TestLoweringExpressions:
+    def test_simple_assignment(self):
+        instrs = instrs_of("int x = 1;")
+        assert isinstance(instrs[0], ir.Assign)
+        assert instrs[0].target == "x"
+        assert isinstance(instrs[0].source, ir.Const)
+
+    def test_call_produces_temp(self):
+        instrs = instrs_of("c.iterator();")
+        calls = [i for i in instrs if isinstance(i.source, ir.Call)]
+        assert len(calls) == 1
+        assert calls[0].source.receiver == "c"
+        assert calls[0].source.static_class == "Collection"
+
+    def test_nested_call_evaluation_order(self):
+        instrs = instrs_of("int x = c.iterator().hasNext() ? 1 : 0;")
+        call_names = [
+            i.source.method_name
+            for i in instrs
+            if isinstance(i, ir.Assign) and isinstance(i.source, ir.Call)
+        ]
+        assert call_names == ["iterator", "hasNext"]
+
+    def test_chained_calls_thread_receiver(self):
+        instrs = instrs_of("Iterator<Integer> it = c.iterator(); it.next();")
+        next_call = [
+            i for i in instrs
+            if isinstance(i.source, ir.Call) and i.source.method_name == "next"
+        ][0]
+        assert next_call.source.receiver == "it"
+
+    def test_field_read_through_this(self):
+        instrs = instrs_of("Collection<Integer> e = entries;")
+        loads = [i for i in instrs if isinstance(i.source, ir.FieldLoad)]
+        assert len(loads) == 1
+        assert loads[0].source.receiver == "this"
+        assert loads[0].source.field_name == "entries"
+
+    def test_field_store(self):
+        instrs = instrs_of("entries = c;")
+        stores = [i for i in instrs if isinstance(i, ir.FieldStore)]
+        assert len(stores) == 1
+        assert stores[0].receiver == "this"
+        assert stores[0].value == "c"
+
+    def test_new_object(self):
+        instrs = instrs_of("Object o = new ArrayList<Integer>();")
+        news = [i for i in instrs if isinstance(i.source, ir.NewObj)]
+        assert news and news[0].source.class_name == "ArrayList"
+
+    def test_binary_and_unary(self):
+        instrs = instrs_of("int x = 1 + 2; boolean b = !true;")
+        assert any(isinstance(i.source, ir.BinOp) for i in instrs)
+        assert any(
+            isinstance(i.source, ir.UnOp) and i.source.op == "!" for i in instrs
+        )
+
+    def test_compound_assignment_desugars(self):
+        instrs = instrs_of("int x = 1; x += 2;")
+        binops = [i for i in instrs if isinstance(i.source, ir.BinOp)]
+        assert binops and binops[0].source.op == "+"
+
+    def test_compound_field_assignment_loads_then_combines(self):
+        program = build_program(
+            "class F { int count; void bump() { count += 2; } }",
+            include_api=False,
+        )
+        ref = method_ref(program, "F", "bump")
+        lowered = lower_method(program, ref.class_decl, ref.method_decl)
+        instrs = list(iter_instrs(lowered.body))
+        loads = [
+            i for i in instrs
+            if isinstance(i, ir.Assign) and isinstance(i.source, ir.FieldLoad)
+        ]
+        binops = [
+            i for i in instrs
+            if isinstance(i, ir.Assign)
+            and isinstance(i.source, ir.BinOp)
+            and i.source.op == "+"
+        ]
+        stores = [i for i in instrs if isinstance(i, ir.FieldStore)]
+        assert loads and binops and stores
+        # The stored value is the combined temp, not the raw RHS.
+        assert stores[0].value == binops[0].target
+
+    def test_postfix_increment_writes_back_and_returns_old(self):
+        instrs = instrs_of("int i = 0; int j = i++;")
+        writes = [
+            i for i in instrs
+            if isinstance(i, ir.Assign) and i.target == "i"
+            and isinstance(i.source, ir.UseVar)
+        ]
+        assert writes  # i is written back
+        j_assign = [i for i in instrs if getattr(i, "target", None) == "j"][0]
+        # j receives the snapshot temp, not i's new value.
+        binop = [
+            i for i in instrs
+            if isinstance(i, ir.Assign) and isinstance(i.source, ir.BinOp)
+        ][0]
+        assert j_assign.source.name == binop.source.left
+
+    def test_prefix_increment_returns_new_value(self):
+        instrs = instrs_of("int i = 0; int j = ++i;")
+        binop = [
+            i for i in instrs
+            if isinstance(i, ir.Assign) and isinstance(i.source, ir.BinOp)
+        ][0]
+        j_assign = [i for i in instrs if getattr(i, "target", None) == "j"][0]
+        assert j_assign.source.name == binop.target
+
+    def test_field_increment_is_read_modify_write(self):
+        program = build_program(
+            "class F { int count; void tick() { count++; } }",
+            include_api=False,
+        )
+        ref = method_ref(program, "F", "tick")
+        lowered = lower_method(program, ref.class_decl, ref.method_decl)
+        instrs = list(iter_instrs(lowered.body))
+        assert any(isinstance(i.source, ir.FieldLoad)
+                   for i in instrs if isinstance(i, ir.Assign))
+        assert any(isinstance(i, ir.FieldStore) for i in instrs)
+
+    def test_compound_qualified_field_assignment(self):
+        program = build_program(
+            """
+            class F {
+                int count;
+                void bumpOther(F other) { other.count -= 1; }
+            }
+            """,
+            include_api=False,
+        )
+        ref = method_ref(program, "F", "bumpOther")
+        lowered = lower_method(program, ref.class_decl, ref.method_decl)
+        instrs = list(iter_instrs(lowered.body))
+        binops = [
+            i for i in instrs
+            if isinstance(i, ir.Assign)
+            and isinstance(i.source, ir.BinOp)
+            and i.source.op == "-"
+        ]
+        stores = [i for i in instrs if isinstance(i, ir.FieldStore)]
+        assert binops
+        assert stores[0].receiver == "other"
+
+    def test_conditional_desugars_to_branches(self):
+        cfg = cfg_of("int x = a ? 1 : 2;", params="boolean a")
+        branches = [n for n in cfg.nodes if n.kind == "branch"]
+        assert len(branches) == 1
+
+    def test_return_value_materialized(self):
+        program = build_program(
+            "class T { int m() { return 1 + 2; } }"
+        )
+        ref = method_ref(program, "T", "m")
+        lowered = lower_method(program, ref.class_decl, ref.method_decl)
+        instrs = list(iter_instrs(lowered.body))
+        returns = [i for i in instrs if isinstance(i, ir.ReturnInstr)]
+        assert returns and returns[0].value is not None
+
+    def test_synchronized_emits_enter_exit(self):
+        instrs = instrs_of("synchronized (c) { int x = 1; }")
+        assert any(isinstance(i, ir.SyncEnter) for i in instrs)
+        assert any(isinstance(i, ir.SyncExit) for i in instrs)
+
+    def test_assert_lowered(self):
+        instrs = instrs_of("assert 1 > 0;")
+        assert any(isinstance(i, ir.AssertInstr) for i in instrs)
+
+    def test_foreach_desugars_to_iterator_protocol(self):
+        instrs = instrs_of("for (Integer x : c) { int y = x; }")
+        call_names = [
+            i.source.method_name
+            for i in instrs
+            if isinstance(i, ir.Assign) and isinstance(i.source, ir.Call)
+        ]
+        assert call_names == ["iterator", "hasNext", "next"]
+
+    def test_defined_and_used_sets(self):
+        instr = ir.Assign(target="x", source=ir.BinOp(op="+", left="a", right="b"))
+        assert instr.defined() == "x"
+        assert set(instr.used()) == {"a", "b"}
+
+
+class TestCFGShape:
+    def test_straight_line(self):
+        cfg = cfg_of("int x = 1; int y = 2;")
+        assert len(cfg.instr_nodes()) == 2
+        order = cfg.reverse_postorder()
+        assert order[0] is cfg.entry
+        assert order[-1].kind in ("exit", "instr", "join")
+
+    def test_if_has_two_way_branch(self):
+        cfg = cfg_of("if (b) { int x = 1; } else { int y = 2; }", params="boolean b")
+        branches = [n for n in cfg.nodes if n.kind == "branch"]
+        assert len(branches) == 1
+        labels = sorted(label for _, label in branches[0].succs)
+        assert labels == ["false", "true"]
+
+    def test_while_loop_has_back_edge(self):
+        cfg = cfg_of("while (b) { int x = 1; }", params="boolean b")
+        # A back edge exists: some node's successor appears earlier in RPO.
+        order = {n.node_id: i for i, n in enumerate(cfg.reverse_postorder())}
+        has_back_edge = any(
+            order.get(succ.node_id, 0) <= order.get(node.node_id, 0)
+            for node in cfg.nodes
+            if node.node_id in order
+            for succ, _ in node.succs
+            if succ.node_id in order
+        )
+        assert has_back_edge
+
+    def test_return_connects_to_exit(self):
+        program = build_program("class T { int m() { return 5; } }")
+        ref = method_ref(program, "T", "m")
+        cfg = build_cfg(program, ref.class_decl, ref.method_decl)
+        return_nodes = [
+            n for n in cfg.instr_nodes() if isinstance(n.instr, ir.ReturnInstr)
+        ]
+        assert any(succ is cfg.exit for succ, _ in return_nodes[0].succs)
+
+    def test_code_after_return_is_unreachable(self):
+        program = build_program(
+            "class T { int m() { return 1; } }"
+        )
+        ref = method_ref(program, "T", "m")
+        cfg = build_cfg(program, ref.class_decl, ref.method_decl)
+        reachable = {n.node_id for n in cfg.reachable_nodes()}
+        assert cfg.exit.node_id in reachable
+
+    def test_break_jumps_past_loop(self):
+        cfg = cfg_of("while (b) { break; } int z = 1;", params="boolean b")
+        # The statement after the loop must be reachable.
+        labels = [
+            n for n in cfg.reachable_nodes()
+            if n.kind == "instr" and n.instr.defined() == "z"
+        ]
+        assert labels
+
+    def test_continue_loops_back(self):
+        cfg = cfg_of("while (b) { continue; }", params="boolean b")
+        assert cfg.exit in [n for n in cfg.reachable_nodes()]
+
+    def test_do_while_body_precedes_test(self):
+        cfg = cfg_of("do { int x = 1; } while (b);", params="boolean b")
+        order = [n for n in cfg.reverse_postorder() if n.kind == "instr"]
+        defined = [n.instr.defined() for n in order]
+        assert defined.index("x") < len(defined)
+
+    def test_for_loop_update_wired(self):
+        cfg = cfg_of("for (int i = 0; i < 3; i = i + 1) { int u = i; }")
+        branches = [n for n in cfg.nodes if n.kind == "branch"]
+        assert branches
+
+    def test_branch_records_condition_variable(self):
+        cfg = cfg_of("boolean t = c.iterator().hasNext(); if (t) { int x = 1; }")
+        branches = [n for n in cfg.nodes if n.kind == "branch"]
+        assert branches[0].cond_var == "t"
+
+    def test_to_dot_mentions_all_nodes(self):
+        cfg = cfg_of("int x = 1;")
+        dot = cfg.to_dot()
+        assert dot.startswith("digraph")
+        for node in cfg.nodes:
+            assert ("n%d" % node.node_id) in dot
+
+    def test_reverse_postorder_covers_reachable(self):
+        cfg = cfg_of("if (b) { int x = 1; } int y = 2;", params="boolean b")
+        rpo = cfg.reverse_postorder()
+        assert len(rpo) == len(cfg.reachable_nodes())

@@ -1,0 +1,192 @@
+"""Tests for the "Anek Logical" baseline and PLURAL local inference."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.logical import DidNotFinish, LogicalInference
+from repro.plural.local_inference import (
+    LinearSystem,
+    LocalFractionInference,
+)
+from tests.conftest import build_program, method_ref
+
+
+class TestLinearSystem:
+    def test_simple_solution(self):
+        system = LinearSystem(2)
+        system.add_equation({0: 1, 1: 1}, 1)  # x + y = 1
+        system.add_equation({0: 1, 1: -1}, 0)  # x - y = 0
+        solution, consistent = system.gaussian_eliminate()
+        assert consistent
+        assert solution == [Fraction(1, 2), Fraction(1, 2)]
+
+    def test_inconsistent_system_detected(self):
+        system = LinearSystem(1)
+        system.add_equation({0: 1}, 1)
+        system.add_equation({0: 1}, 2)
+        solution, consistent = system.gaussian_eliminate()
+        assert not consistent
+        assert solution is None
+
+    def test_underdetermined_free_variables_default_zero(self):
+        system = LinearSystem(2)
+        system.add_equation({0: 1}, 1)
+        solution, consistent = system.gaussian_eliminate()
+        assert consistent
+        assert solution[0] == 1
+        assert solution[1] == 0
+
+    def test_exact_rational_arithmetic(self):
+        system = LinearSystem(1)
+        system.add_equation({0: 3}, 1)
+        solution, _ = system.gaussian_eliminate()
+        assert solution[0] == Fraction(1, 3)
+
+    def test_redundant_equations_are_consistent(self):
+        system = LinearSystem(2)
+        system.add_equation({0: 1, 1: 1}, 1)
+        system.add_equation({0: 2, 1: 2}, 2)
+        _, consistent = system.gaussian_eliminate()
+        assert consistent
+
+
+class TestLocalFractionInference:
+    def test_straight_line_method_satisfiable(self):
+        program = build_program(
+            """
+            class T {
+                int scan(Collection<Integer> c) {
+                    Iterator<Integer> it = c.iterator();
+                    int acc = 0;
+                    while (it.hasNext()) { acc = acc + it.next(); }
+                    return acc;
+                }
+            }
+            """
+        )
+        inference = LocalFractionInference(program)
+        result = inference.infer_method(method_ref(program, "T", "scan"))
+        assert result.satisfiable
+        assert result.variables > 0
+        assert result.equations > 0
+
+    def test_fractions_are_rational(self):
+        program = build_program(
+            """
+            class T {
+                boolean peek(Collection<Integer> c) {
+                    Iterator<Integer> it = c.iterator();
+                    return it.hasNext();
+                }
+            }
+            """
+        )
+        inference = LocalFractionInference(program)
+        result = inference.infer_method(method_ref(program, "T", "peek"))
+        assert result.satisfiable
+        assert all(isinstance(f, Fraction) for f in result.fractions)
+
+    def test_program_wide_run(self):
+        program = build_program(
+            """
+            class T {
+                int a(Collection<Integer> c) { return c.size(); }
+                int b(Collection<Integer> c) { return c.size(); }
+            }
+            """
+        )
+        results = LocalFractionInference(program).infer_program()
+        ours = [
+            r for r in results if r.method_ref.class_decl.name == "T"
+        ]
+        assert len(ours) == 2
+
+    def test_larger_system_is_slower(self):
+        """The cubic scaling that drives Table 3."""
+        from repro.corpus.generator import (
+            generate_inlined_program,
+        )
+        from repro.corpus.iterator_api import ITERATOR_API_SOURCE
+        from repro.java.parser import parse_compilation_unit
+        from repro.java.symbols import resolve_program
+
+        def time_for(methods):
+            program = resolve_program(
+                [
+                    parse_compilation_unit(ITERATOR_API_SOURCE),
+                    parse_compilation_unit(generate_inlined_program(methods)),
+                ]
+            )
+            inference = LocalFractionInference(program)
+            inlined = program.lookup_class("Inlined")
+            ref = method_ref(program, "Inlined", "run")
+            return inference.infer_method(ref).elapsed_seconds
+
+        small = time_for(2)
+        large = time_for(8)
+        assert large > small
+
+
+class TestAnekLogical:
+    def test_small_program_solves_exactly(self):
+        program = build_program(
+            "class T { int f(int x) { return x; } }", include_api=False
+        )
+        inference = LogicalInference(program, budget=10_000_000)
+        result, joint = inference.run()
+        assert joint.variable_count >= 0
+
+    def test_dnf_on_large_program(self):
+        program = build_program(
+            """
+            class T {
+                int scan(Collection<Integer> c) {
+                    Iterator<Integer> it = c.iterator();
+                    int acc = 0;
+                    while (it.hasNext()) { acc = acc + it.next(); }
+                    return acc;
+                }
+                int scan2(Collection<Integer> c) {
+                    Iterator<Integer> it = c.iterator();
+                    int acc = 0;
+                    while (it.hasNext()) { acc = acc + it.next(); }
+                    return acc;
+                }
+            }
+            """
+        )
+        inference = LogicalInference(program, budget=1_000_000)
+        with pytest.raises(DidNotFinish):
+            inference.run()
+
+    def test_space_size_grows_with_program(self):
+        small = build_program("class T { int f(int x) { return x; } }")
+        large = build_program(
+            """
+            class T {
+                int scan(Collection<Integer> c) {
+                    Iterator<Integer> it = c.iterator();
+                    return it.hasNext() ? it.next() : 0;
+                }
+            }
+            """
+        )
+        assert LogicalInference(large).space_size() > LogicalInference(
+            small
+        ).space_size()
+
+    def test_paramarg_constraints_bind_callsites(self):
+        program = build_program(
+            """
+            class T {
+                @Perm("share") Collection<Integer> items;
+                Iterator<Integer> wrap() { return items.iterator(); }
+                boolean use() { return wrap().hasNext(); }
+            }
+            """
+        )
+        inference = LogicalInference(program, budget=10**12)
+        joint, models, renamed = inference.build_global_model()
+        paramargs = [f for f in joint.factors if f.name.startswith("paramarg/")]
+        assert paramargs

@@ -1,0 +1,223 @@
+"""Unit tests for smaller APIs: call graph, AST helpers, graph metrics,
+contexts, heuristic config, and the example sources."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.callgraph import build_call_graph
+from repro.core.heuristics import HeuristicConfig
+from repro.factorgraph import FactorGraph, soft_equality
+from repro.factorgraph.variables import make_prior
+from repro.java import ast
+from repro.permissions.states import iterator_state_space
+from repro.plural.context import Context, Perm, StateTest
+from tests.conftest import build_program, method_ref
+
+
+class TestCallGraph:
+    @pytest.fixture(scope="class")
+    def graph_and_program(self):
+        program = build_program(
+            """
+            class A {
+                @Perm("share") Collection<Integer> items;
+                Iterator<Integer> wrap() { return items.iterator(); }
+                boolean probe() { return wrap().hasNext(); }
+                void touch() { probe(); probe(); }
+            }
+            """
+        )
+        return build_call_graph(program), program
+
+    def test_callees_of(self, graph_and_program):
+        graph, program = graph_and_program
+        probe = method_ref(program, "A", "probe")
+        callee_names = {
+            site.callee.qualified_name
+            for site in graph.callees_of(probe)
+            if site.callee is not None
+        }
+        assert "A.wrap" in callee_names
+        assert "Iterator.hasNext" in callee_names
+
+    def test_callers_of(self, graph_and_program):
+        graph, program = graph_and_program
+        wrap = method_ref(program, "A", "wrap")
+        callers = graph.caller_methods_of(wrap)
+        assert [c.qualified_name for c in callers] == ["A.probe"]
+
+    def test_repeated_calls_counted_per_site(self, graph_and_program):
+        graph, program = graph_and_program
+        probe = method_ref(program, "A", "probe")
+        sites = graph.callers_of(probe)
+        assert len(sites) == 2
+
+    def test_constructor_sites_present(self):
+        program = build_program(
+            "class B { Object make() { return new ArrayList<Integer>(); } }"
+        )
+        graph = build_call_graph(program)
+        ctor_sites = [
+            site
+            for site in graph.sites
+            if site.callee is not None
+            and site.callee.method_decl.is_constructor
+            and site.caller.qualified_name == "B.make"
+        ]
+        assert len(ctor_sites) == 1
+
+
+class TestAstHelpers:
+    def test_typeref_str_with_generics_and_arrays(self):
+        ref = ast.TypeRef(
+            name="Map",
+            type_args=[ast.TypeRef(name="K"), ast.TypeRef(name="V")],
+            dimensions=1,
+        )
+        assert str(ref) == "Map<K, V>[]"
+
+    def test_typeref_primitive_detection(self):
+        assert ast.TypeRef(name="int").is_primitive
+        assert not ast.TypeRef(name="int", dimensions=1).is_primitive
+        assert not ast.TypeRef(name="Integer").is_primitive
+
+    def test_annotation_argument_default(self):
+        annotation = ast.Annotation(name="Perm", arguments={"requires": "x"})
+        assert annotation.argument("requires") == "x"
+        assert annotation.argument("ensures", "none") == "none"
+
+    def test_method_decl_helpers(self):
+        method = ast.MethodDecl(name="m", modifiers=["static"])
+        assert method.is_static
+        assert method.is_abstract  # no body
+        assert method.annotation("Perm") is None
+
+    def test_walk_includes_self(self):
+        literal = ast.Literal(kind="int", value=1)
+        assert list(literal.walk()) == [literal]
+
+
+class TestFactorGraphMetrics:
+    def test_table_cells(self):
+        graph = FactorGraph()
+        a = graph.add_variable("a", ("x", "y"))
+        b = graph.add_variable("b", ("x", "y"))
+        graph.add_factor(soft_equality("eq", a, b, 0.9))
+        assert graph.table_cells() == 4
+
+    def test_log_joint(self):
+        graph = FactorGraph()
+        graph.add_variable(
+            "a", ("x", "y"), prior=make_prior(("x", "y"), {"x": 1})
+        )
+        assert graph.log_joint({"a": "x"}) == pytest.approx(0.0)
+        assert graph.log_joint({"a": "y"}) == -np.inf
+
+    def test_repr(self):
+        graph = FactorGraph("demo")
+        assert "demo" in repr(graph)
+
+
+class TestContextExtras:
+    def test_refine_state_uses_space_meet(self):
+        space = iterator_state_space()
+        ctx = Context().bind_fresh("it", Perm("unique", "ALIVE", "Iterator"))
+        cell = ctx.cell_of("it")
+        refined = ctx.refine_state(cell, "HASNEXT", space)
+        assert refined.perm_of_var("it").state == "HASNEXT"
+
+    def test_refine_state_without_perm_is_noop(self):
+        ctx = Context()
+        assert ctx.refine_state(("ghost", 1), "HASNEXT") is ctx
+
+    def test_set_test_then_copy_keeps_test(self):
+        ctx = Context().bind_fresh("it", Perm("unique", "ALIVE", "Iterator"))
+        ctx = ctx.set_test("flag", StateTest(ctx.cell_of("it"), "A", "B"))
+        copied = ctx.bind_alias("it2", "it")
+        assert "flag" in copied.tests
+
+    def test_bind_scalar_clears_stale_test(self):
+        ctx = Context().bind_fresh("it", Perm("unique", "ALIVE", "Iterator"))
+        ctx = ctx.set_test("flag", StateTest(ctx.cell_of("it"), "A", "B"))
+        cleared = ctx.bind_scalar("flag")
+        assert "flag" not in cleared.tests
+
+
+class TestGuardAlgebra:
+    def make_test(self, cell_id, true_state="HASNEXT", false_state="END"):
+        return StateTest(("cell", cell_id), true_state, false_state)
+
+    def test_guard_of_state_test(self):
+        from repro.plural.context import Guard
+
+        guard = Guard.of(self.make_test(1))
+        assert guard.refinements(True) == [(("cell", 1), "HASNEXT")]
+        assert guard.refinements(False) == [(("cell", 1), "END")]
+
+    def test_conjunction_keeps_true_side_only(self):
+        from repro.plural.context import Guard
+
+        guard = Guard.conjunction(self.make_test(1), self.make_test(2))
+        assert len(guard.refinements(True)) == 2
+        assert guard.refinements(False) == []
+
+    def test_disjunction_keeps_false_side_only(self):
+        from repro.plural.context import Guard
+
+        guard = Guard.disjunction(self.make_test(1), self.make_test(2))
+        assert guard.refinements(True) == []
+        assert len(guard.refinements(False)) == 2
+
+    def test_negation_swaps_sides(self):
+        from repro.plural.context import Guard
+
+        guard = Guard.conjunction(self.make_test(1), self.make_test(2))
+        flipped = guard.negated()
+        assert flipped.refinements(False) == guard.refinements(True)
+        assert flipped.refinements(True) == []
+
+    def test_double_negation_is_identity(self):
+        from repro.plural.context import Guard
+
+        guard = Guard.of(self.make_test(3))
+        assert guard.negated().negated() == guard
+
+
+class TestHeuristicConfig:
+    def test_logical_only_disables_heuristics(self):
+        config = HeuristicConfig.logical_only()
+        assert not config.enable_h1
+        assert not config.enable_h5
+        assert config.h_outgoing > 0.999
+
+    def test_prefix_matching(self):
+        config = HeuristicConfig()
+        assert config.matches_create("createIterator")
+        assert not config.matches_create("recreate")
+        assert config.matches_setter("setValue")
+        assert not config.matches_setter("getValue")
+
+    def test_custom_prefixes(self):
+        config = HeuristicConfig(create_prefixes=("make", "build"))
+        assert config.matches_create("makeThing")
+        assert not config.matches_create("createThing")
+
+
+class TestExampleSources:
+    def test_figure_sources_parse(self):
+        from repro.corpus.examples import figure3_sources, figure5_sources
+        from repro.java.parser import parse_compilation_unit
+
+        for source in figure3_sources() + figure5_sources():
+            parse_compilation_unit(source)
+
+    def test_stream_api_parses_and_resolves(self):
+        from repro.corpus.stream_api import stream_sources
+        from repro.java.parser import parse_compilation_unit
+        from repro.java.symbols import resolve_program
+
+        program = resolve_program(
+            [parse_compilation_unit(s) for s in stream_sources()]
+        )
+        assert program.lookup_class("Stream") is not None
+        assert program.is_subtype("ByteStream", "Stream")

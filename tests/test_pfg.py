@@ -1,0 +1,255 @@
+"""Tests for Permission Flow Graph construction (paper §3.1, Figure 6)."""
+
+from repro.core.pfg import PFGNodeKind
+from repro.core.pfg_builder import build_pfg
+from repro.corpus.examples import FIGURE5_COPY
+from tests.conftest import build_program, method_ref
+
+
+def pfg_for(body, params="Collection<Integer> c", extra=""):
+    program = build_program(
+        "class T { @Perm(\"share\") Collection<Integer> entries; %s void m(%s) { %s } }"
+        % (extra, params, body)
+    )
+    ref = method_ref(program, "T", "m")
+    return build_pfg(program, ref)
+
+
+def nodes_of_kind(pfg, kind):
+    return [node for node in pfg.nodes if node.kind == kind]
+
+
+class TestBoundaryNodes:
+    def test_params_get_pre_and_post_nodes(self):
+        pfg = pfg_for("int x = 0;")
+        assert "c" in pfg.param_pre
+        assert "c" in pfg.param_post
+        assert "this" in pfg.param_pre
+
+    def test_scalar_params_are_not_tracked(self):
+        pfg = pfg_for("int y = x;", params="int x")
+        assert "x" not in pfg.param_pre
+
+    def test_unused_param_flows_pre_to_post(self):
+        pfg = pfg_for("int x = 0;")
+        pre = pfg.param_pre["c"]
+        post = pfg.param_post["c"]
+        assert any(edge.dst is post for edge in pre.out_edges)
+
+    def test_return_node_created(self):
+        program = build_program(
+            "class T { Iterator<Integer> m(Collection<Integer> c) { return c.iterator(); } }"
+        )
+        pfg = build_pfg(program, method_ref(program, "T", "m"))
+        assert pfg.result_node is not None
+        assert pfg.result_node.kind == PFGNodeKind.RETURN
+
+
+class TestCallStructure:
+    def test_call_creates_split_pre_post_retained_merge(self):
+        pfg = pfg_for("c.iterator();")
+        assert len(nodes_of_kind(pfg, PFGNodeKind.SPLIT)) == 1
+        assert len(nodes_of_kind(pfg, PFGNodeKind.CALL_PRE)) == 1
+        assert len(nodes_of_kind(pfg, PFGNodeKind.CALL_POST)) == 1
+        assert len(nodes_of_kind(pfg, PFGNodeKind.RETAINED)) == 1
+
+    def test_split_edges_have_roles(self):
+        pfg = pfg_for("c.iterator();")
+        split = nodes_of_kind(pfg, PFGNodeKind.SPLIT)[0]
+        roles = sorted(edge.role for edge in split.out_edges)
+        assert roles == ["given", "retained"]
+
+    def test_call_merge_combines_retained_and_post(self):
+        pfg = pfg_for("c.iterator();")
+        merge = [
+            node
+            for node in nodes_of_kind(pfg, PFGNodeKind.MERGE)
+            if "call-merge" in node.hints
+        ][0]
+        source_kinds = sorted(edge.src.kind for edge in merge.in_edges)
+        assert source_kinds == [PFGNodeKind.CALL_POST, PFGNodeKind.RETAINED]
+
+    def test_result_node_for_protocol_returns(self):
+        pfg = pfg_for("Iterator<Integer> it = c.iterator();")
+        results = nodes_of_kind(pfg, PFGNodeKind.CALL_RESULT)
+        assert len(results) == 1
+        assert results[0].class_name == "Iterator"
+
+    def test_no_result_node_for_scalar_returns(self):
+        pfg = pfg_for("int n = c.size();")
+        assert nodes_of_kind(pfg, PFGNodeKind.CALL_RESULT) == []
+
+    def test_call_site_registry(self):
+        pfg = pfg_for("Iterator<Integer> it = c.iterator(); boolean b = it.hasNext();")
+        callees = [
+            site["callee"].qualified_name
+            for site in pfg.call_sites
+            if site["callee"] is not None
+        ]
+        assert "Collection.iterator" in callees
+        assert "Iterator.hasNext" in callees
+
+    def test_arguments_map_to_parameter_names(self):
+        program = build_program(
+            """
+            class T {
+                void helper(Iterator<Integer> it) { }
+                void m(Collection<Integer> c) {
+                    Iterator<Integer> x = c.iterator();
+                    helper(x);
+                }
+            }
+            """
+        )
+        pfg = build_pfg(program, method_ref(program, "T", "m"))
+        helper_site = [
+            site
+            for site in pfg.call_sites
+            if site["callee"] is not None
+            and site["callee"].method_decl.name == "helper"
+        ][0]
+        assert "it" in helper_site["pre"]
+
+
+class TestAliasTracking:
+    def test_reassigned_local_keeps_flow(self):
+        # The paper: the must-alias analysis tracks permissions across
+        # local reassignment.
+        pfg = pfg_for(
+            "Iterator<Integer> a = c.iterator();"
+            "Iterator<Integer> b = a;"
+            "boolean x = b.hasNext();"
+        )
+        has_next_pre = [
+            node
+            for node in nodes_of_kind(pfg, PFGNodeKind.CALL_PRE)
+            if "hasNext" in node.label
+        ]
+        assert len(has_next_pre) == 1
+        # The hasNext split consumes the iterator produced by the result.
+        splits = [
+            node for node in nodes_of_kind(pfg, PFGNodeKind.SPLIT)
+            if "hasNext" in node.label
+        ]
+        result = nodes_of_kind(pfg, PFGNodeKind.CALL_RESULT)[0]
+        assert any(edge.dst is splits[0] for edge in result.out_edges)
+
+
+class TestLoopsAndMerges:
+    def test_loop_header_creates_merge(self):
+        pfg = pfg_for(
+            "Iterator<Integer> it = c.iterator();"
+            "while (it.hasNext()) { Integer v = it.next(); }"
+        )
+        control_merges = [
+            node
+            for node in nodes_of_kind(pfg, PFGNodeKind.MERGE)
+            if "call-merge" not in node.hints
+        ]
+        assert control_merges
+        # Some control merge must have >= 2 inputs (entry + back edge).
+        assert any(len(node.in_edges) >= 2 for node in control_merges)
+
+    def test_figure6_copy_structure(self):
+        program = build_program(FIGURE5_COPY)
+        pfg = build_pfg(program, method_ref(program, "Row", "copy"))
+        labels = [node.label for node in pfg.nodes]
+        assert "PRE original" in labels
+        assert "POST original" in labels
+        assert any("pre createColIter" in label for label in labels)
+        assert any("post createColIter" in label for label in labels)
+        assert any("pre hasNext" in label for label in labels)
+        assert any("pre next" in label for label in labels)
+        assert pfg.result_node is not None
+
+    def test_figure6_original_flows_into_createcoliter_split(self):
+        program = build_program(FIGURE5_COPY)
+        pfg = build_pfg(program, method_ref(program, "Row", "copy"))
+        pre_original = pfg.param_pre["original"]
+        assert pre_original.out_edges
+        dst = pre_original.out_edges[0].dst
+        assert dst.kind == PFGNodeKind.SPLIT
+
+    def test_dot_output(self):
+        program = build_program(FIGURE5_COPY)
+        pfg = build_pfg(program, method_ref(program, "Row", "copy"))
+        dot = pfg.to_dot()
+        assert dot.startswith("digraph")
+        assert "PRE original" in dot
+
+
+class TestConstructorArguments:
+    def test_ctor_args_flow_through_call_nodes(self):
+        program = build_program(
+            """
+            class Wrap {
+                @Perm("share") Iterator<Integer> inner;
+                Wrap(Iterator<Integer> it) { this.inner = it; }
+                Wrap fresh(Collection<Integer> c) {
+                    return new Wrap(c.iterator());
+                }
+            }
+            """
+        )
+        pfg = build_pfg(program, method_ref(program, "Wrap", "fresh"))
+        ctor_sites = [
+            site
+            for site in pfg.call_sites
+            if site["callee"] is not None
+            and site["callee"].method_decl.is_constructor
+        ]
+        assert len(ctor_sites) == 1
+        assert "it" in ctor_sites[0]["pre"]
+        assert "it" in ctor_sites[0]["post"]
+
+    def test_ctor_without_tracked_args_adds_no_site(self):
+        pfg = pfg_for("Object o = new ArrayList<Integer>();")
+        ctor_sites = [
+            site
+            for site in pfg.call_sites
+            if site["callee"] is not None
+            and site["callee"].method_decl.is_constructor
+        ]
+        assert ctor_sites == []
+
+
+class TestSourcesAndSinks:
+    def test_new_creates_source_node(self):
+        pfg = pfg_for("Object o = new ArrayList<Integer>();")
+        news = nodes_of_kind(pfg, PFGNodeKind.NEW)
+        assert len(news) == 1
+        assert "constructor-result" in news[0].hints
+
+    def test_field_load_creates_source(self):
+        pfg = pfg_for("Collection<Integer> e = entries;")
+        loads = nodes_of_kind(pfg, PFGNodeKind.FIELD_LOAD)
+        assert len(loads) == 1
+        assert loads[0].class_name == "Collection"
+
+    def test_field_store_creates_sink_with_receiver_pair(self):
+        pfg = pfg_for("entries = c;")
+        stores = nodes_of_kind(pfg, PFGNodeKind.FIELD_STORE)
+        assert len(stores) == 1
+        assert pfg.field_store_receivers
+        store, receiver = pfg.field_store_receivers[0]
+        assert receiver.label == "PRE this"
+
+    def test_sync_target_hint(self):
+        pfg = pfg_for("synchronized (c) { int x = 1; }")
+        assert any("sync-target" in node.hints for node in pfg.nodes)
+
+    def test_multiple_returns_share_return_node(self):
+        program = build_program(
+            """
+            class T {
+                Iterator<Integer> m(Collection<Integer> c, boolean b) {
+                    if (b) { return c.iterator(); }
+                    return c.iterator();
+                }
+            }
+            """
+        )
+        pfg = build_pfg(program, method_ref(program, "T", "m"))
+        returns = nodes_of_kind(pfg, PFGNodeKind.RETURN)
+        assert len(returns) == 1
+        assert len(returns[0].in_edges) == 2

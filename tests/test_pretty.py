@@ -1,0 +1,90 @@
+"""Round-trip tests for the pretty printer."""
+
+import pytest
+
+from repro.corpus.examples import FIGURE3_CLIENT
+from repro.corpus.iterator_api import ITERATOR_API_SOURCE
+from repro.java.parser import parse_compilation_unit
+from repro.java.pretty import pretty_print
+
+
+def roundtrip_stable(source):
+    """Parse, print, re-parse, re-print: the two prints must agree."""
+    first = pretty_print(parse_compilation_unit(source))
+    second = pretty_print(parse_compilation_unit(first))
+    return first == second, first
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "class X { }",
+            "interface I<T> { T get(); }",
+            "class X { int a = 1; }",
+            "class X extends Y implements Z { }",
+            'class X { @Perm(requires="full(this)") void m() { } }',
+            "class X { void m(int a, String b) { return; } }",
+            "class X { void m() { if (a) { b(); } else { c(); } } }",
+            "class X { void m() { while (p()) { q(); } } }",
+            "class X { void m() { do { q(); } while (p()); } }",
+            "class X { void m() { for (int i = 0; i < n; i++) { u(i); } } }",
+            "class X { void m() { for (Integer x : xs) { u(x); } } }",
+            "class X { void m() { synchronized (this) { t(); } } }",
+            "class X { void m() { assert a > 0 : \"msg\"; } }",
+            "class X { void m() { int x = a ? 1 : 2; } }",
+            "class X { void m() { Object o = (Object) p; } }",
+            "class X { void m() { boolean b = o instanceof X; } }",
+            "class X { void m() { this.f = g[0]; } }",
+            "class X { void m() { throw new E(); } }",
+            "class X { void m() { while (a) { break; } } }",
+        ],
+    )
+    def test_roundtrip_is_stable(self, source):
+        stable, printed = roundtrip_stable(source)
+        assert stable, printed
+
+    def test_iterator_api_roundtrips(self):
+        stable, _ = roundtrip_stable(ITERATOR_API_SOURCE)
+        assert stable
+
+    def test_figure3_roundtrips(self):
+        stable, _ = roundtrip_stable(FIGURE3_CLIENT)
+        assert stable
+
+
+class TestRendering:
+    def test_string_escaping(self):
+        source = 'class X { String s = "a\\"b\\n"; }'
+        printed = pretty_print(parse_compilation_unit(source))
+        assert '\\"' in printed and "\\n" in printed
+        stable, _ = roundtrip_stable(source)
+        assert stable
+
+    def test_annotation_rendering_single_value(self):
+        source = '@States("A, B") class X { }'
+        printed = pretty_print(parse_compilation_unit(source))
+        assert '@States("A, B")' in printed
+
+    def test_annotation_rendering_key_value(self):
+        source = 'class X { @Perm(requires="pure(this)", ensures="pure(this)") void m() { } }'
+        printed = pretty_print(parse_compilation_unit(source))
+        assert 'requires="pure(this)"' in printed
+
+    def test_indentation_of_nested_blocks(self):
+        source = "class X { void m() { if (a) { if (b) { c(); } } } }"
+        printed = pretty_print(parse_compilation_unit(source))
+        assert "            if (b) {" in printed
+
+    def test_interface_extends_keyword(self):
+        printed = pretty_print(
+            parse_compilation_unit("interface A extends B, C { }")
+        )
+        assert "interface A extends B, C {" in printed
+
+    def test_parenthesization_preserves_semantics(self):
+        source = "class X { int m() { return (a + b) * c; } }"
+        printed = pretty_print(parse_compilation_unit(source))
+        reparsed = pretty_print(parse_compilation_unit(printed))
+        assert printed == reparsed
+        assert "(a + b) * c" in printed

@@ -1,0 +1,212 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constraints import recombine, split_predicate
+from repro.core.extract import pick_kind
+from repro.permissions import kinds
+from repro.permissions.splitting import legal_edge_pair
+from repro.permissions.states import ALIVE, StateSpace
+from repro.plural.checker import check_program
+from repro.plural.context import Context, Perm, kind_join
+from tests.conftest import build_program
+
+KINDS = st.sampled_from(kinds.ALL_KINDS)
+KINDS_OR_NONE = st.sampled_from(kinds.ALL_KINDS + ("none",))
+
+
+class TestKindAlgebra:
+    @given(KINDS, KINDS)
+    def test_kind_join_commutative(self, a, b):
+        assert kind_join(a, b) == kind_join(b, a)
+
+    @given(KINDS)
+    def test_kind_join_idempotent(self, a):
+        assert kind_join(a, a) == a
+
+    @given(KINDS, KINDS)
+    def test_kind_join_is_satisfied_by_both(self, a, b):
+        joined = kind_join(a, b)
+        assert joined is not None
+        assert kinds.satisfies(a, joined)
+        assert kinds.satisfies(b, joined)
+
+    @given(KINDS, KINDS)
+    def test_kind_join_is_strongest_common(self, a, b):
+        joined = kind_join(a, b)
+        for candidate in kinds.ALL_KINDS:
+            if kinds.satisfies(a, candidate) and kinds.satisfies(b, candidate):
+                assert kinds.satisfies(joined, candidate)
+
+    @given(KINDS, KINDS, KINDS)
+    def test_legal_split_pieces_are_weaker(self, held, given, retained):
+        if legal_edge_pair(held, given, retained):
+            # No piece may exceed the strength of the original: anything
+            # the piece can satisfy, the original could satisfy.
+            for required in kinds.ALL_KINDS:
+                if kinds.satisfies(given, required):
+                    assert kinds.satisfies(held, required)
+
+    @given(KINDS_OR_NONE, KINDS_OR_NONE)
+    def test_recombine_at_least_as_strong_as_inputs(self, a, b):
+        merged = recombine(a, b)
+        if a != "none" and b != "none":
+            weaker = kinds.weakest([a, b])
+            assert merged == weaker or kinds.satisfies(merged, weaker)
+
+    @given(KINDS_OR_NONE, KINDS_OR_NONE)
+    def test_recombine_commutative(self, a, b):
+        assert recombine(a, b) == recombine(b, a)
+
+    @given(KINDS_OR_NONE, KINDS_OR_NONE, KINDS_OR_NONE)
+    def test_split_predicate_none_semantics(self, node, given, retained):
+        if node == "none" and split_predicate(node, given, retained):
+            assert given == "none" and retained == "none"
+
+
+class TestExtractionProperties:
+    @st.composite
+    def kind_marginal(draw):
+        domain = kinds.ALL_KINDS + ("none",)
+        weights = [
+            draw(st.floats(min_value=0.001, max_value=1.0)) for _ in domain
+        ]
+        total = sum(weights)
+        return {k: w / total for k, w in zip(domain, weights)}
+
+    @given(kind_marginal())
+    def test_pick_kind_total(self, marginal):
+        kind = pick_kind(marginal)
+        assert kind is None or kind in kinds.ALL_KINDS
+
+    @given(kind_marginal())
+    def test_pick_kind_gate(self, marginal):
+        if marginal["none"] >= 0.15:
+            assert pick_kind(marginal) is None
+
+    @given(kind_marginal())
+    def test_pick_kind_within_plausible_set(self, marginal):
+        kind = pick_kind(marginal)
+        if kind is not None:
+            top = max(marginal[k] for k in kinds.ALL_KINDS)
+            assert marginal[kind] >= 0.5 * top
+
+
+class TestContextProperties:
+    perms = st.builds(
+        Perm,
+        st.sampled_from(kinds.ALL_KINDS + (None,)),
+        st.sampled_from(["ALIVE", "HASNEXT", "END"]),
+        st.just("Iterator"),
+    )
+
+    @given(perms)
+    def test_join_idempotent(self, perm):
+        ctx = Context().bind_fresh("x", perm)
+        joined = ctx.join(ctx)
+        assert joined.perm_of_var("x") == perm or (
+            joined.perm_of_var("x").kind == perm.kind
+        )
+
+    @given(perms, perms)
+    def test_join_commutative_on_kinds(self, pa, pb):
+        left = Context().bind_fresh("x", pa)
+        right = Context().bind_fresh("x", pb)
+        ab = left.join(right).perm_of_var("x").kind
+        ba = right.join(left).perm_of_var("x").kind
+        assert ab == ba
+
+    @given(perms, perms)
+    def test_join_never_strengthens(self, pa, pb):
+        left = Context().bind_fresh("x", pa)
+        right = Context().bind_fresh("x", pb)
+        joined_kind = left.join(right).perm_of_var("x").kind
+        if joined_kind is not None:
+            assert kinds.satisfies(pa.kind, joined_kind)
+            assert kinds.satisfies(pb.kind, joined_kind)
+
+
+@st.composite
+def state_space(draw):
+    flat = draw(
+        st.lists(
+            st.sampled_from(["A", "B", "C", "D"]),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        )
+    )
+    return StateSpace.parse("T", ", ".join(flat))
+
+
+class TestStateSpaceProperties:
+    @given(state_space())
+    def test_every_state_satisfies_alive(self, space):
+        for state in space.states:
+            assert space.satisfies(state, ALIVE)
+
+    @given(state_space())
+    def test_join_with_alive_is_alive(self, space):
+        for state in space.states:
+            assert space.join(state, ALIVE) == ALIVE
+
+    @given(state_space())
+    def test_meet_join_consistency(self, space):
+        for a in space.states:
+            for b in space.states:
+                met = space.meet(a, b)
+                if met is not None:
+                    assert space.is_substate(met, a)
+                    assert space.is_substate(met, b)
+                joined = space.join(a, b)
+                assert space.is_substate(a, joined)
+                assert space.is_substate(b, joined)
+
+
+@st.composite
+def iterator_client(draw):
+    """A random well-guarded or unguarded iterator-using method body."""
+    guarded = draw(st.booleans())
+    loops = draw(st.integers(min_value=1, max_value=3))
+    lines = ["Iterator<Integer> it = c.iterator();"]
+    violations = 0
+    for index in range(loops):
+        if guarded:
+            lines.append(
+                "while (it.hasNext()) { Integer v%d = it.next(); }" % index
+            )
+        else:
+            lines.append("Integer v%d = it.next();" % index)
+            violations += 1
+    return "\n".join(lines), violations
+
+
+class TestCheckerProperties:
+    @given(iterator_client())
+    @settings(max_examples=25, deadline=None)
+    def test_warnings_iff_unguarded(self, client):
+        body, violations = client
+        program = build_program(
+            "class P { void m(Collection<Integer> c) { %s } }" % body
+        )
+        warnings = check_program(program)
+        if violations == 0:
+            assert warnings == []
+        else:
+            assert len(warnings) >= 1
+            assert all(w.kind == "wrong-state" for w in warnings)
+
+    @given(st.integers(min_value=1, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_guarded_loops_scale_cleanly(self, count):
+        body = "".join(
+            "Iterator<Integer> it%d = c.iterator();"
+            "while (it%d.hasNext()) { Integer v%d = it%d.next(); }"
+            % (i, i, i, i)
+            for i in range(count)
+        )
+        program = build_program(
+            "class P { void m(Collection<Integer> c) { %s } }" % body
+        )
+        assert check_program(program) == []

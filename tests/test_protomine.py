@@ -1,0 +1,190 @@
+"""Tests for the static protocol miner (the paper's §5 combination)."""
+
+import pytest
+
+from repro.corpus import CorpusSpec, generate_pmd_corpus
+from repro.corpus.stream_api import STREAM_CLIENT_GOOD, stream_sources
+from repro.java.parser import parse_compilation_unit
+from repro.java.symbols import resolve_program
+from repro.protomine import extract_traces, mine_protocol
+from repro.protomine.mining import _state_name
+from tests.conftest import build_program
+
+
+class TestTraceExtraction:
+    def test_guarded_loop_trace(self):
+        program = build_program(
+            """
+            class C {
+                int drain(Collection<Integer> c) {
+                    int acc = 0;
+                    Iterator<Integer> it = c.iterator();
+                    while (it.hasNext()) { acc = acc + it.next(); }
+                    return acc;
+                }
+            }
+            """
+        )
+        traces = extract_traces(program, {"Iterator"})
+        loop_traces = [t for t in traces if len(t.events) >= 2]
+        assert loop_traces
+        trace = loop_traces[0]
+        next_events = [e for e in trace.events if e.method_name == "next"]
+        assert next_events
+        assert next_events[0].guard == ("hasNext", True)
+
+    def test_unguarded_call_has_no_guard(self):
+        program = build_program(
+            """
+            class C {
+                int grab(Collection<Integer> c) {
+                    return c.iterator().next();
+                }
+            }
+            """
+        )
+        traces = extract_traces(program, {"Iterator"})
+        events = [e for t in traces for e in t.events]
+        assert events
+        assert all(e.guard is None for e in events)
+
+    def test_negative_branch_guard(self):
+        program = build_program(
+            """
+            class C {
+                int other(Collection<Integer> c) {
+                    Iterator<Integer> it = c.iterator();
+                    if (it.hasNext()) { return 0; }
+                    return it.hasNext() ? 1 : 2;
+                }
+            }
+            """
+        )
+        traces = extract_traces(program, {"Iterator"})
+        guards = {e.guard for t in traces for e in t.events}
+        assert ("hasNext", False) in guards
+
+    def test_trace_origin_classification(self):
+        program = build_program(
+            """
+            class C {
+                boolean probe(Iterator<Integer> given, Collection<Integer> c) {
+                    boolean a = given.hasNext();
+                    boolean b = c.iterator().hasNext();
+                    return a && b;
+                }
+            }
+            """
+        )
+        traces = extract_traces(program, {"Iterator"})
+        origins = {t.origin for t in traces}
+        assert "param" in origins
+        assert "result" in origins
+
+    def test_subtype_receivers_mapped_to_protocol_class(self):
+        program = build_program(
+            """
+            @States("HASNEXT, END")
+            class MyIter implements Iterator<Integer> {
+                Integer next() { return null; }
+                boolean hasNext() { return true; }
+            }
+            class C {
+                boolean use(MyIter it) { return it.hasNext(); }
+            }
+            """
+        )
+        traces = extract_traces(program, {"Iterator"})
+        client = [t for t in traces if t.events]
+        assert client
+        assert client[0].class_name == "Iterator"
+
+    def test_api_implementations_excluded(self):
+        program = build_program("class Empty { }")
+        traces = extract_traces(program, {"Iterator"})
+        # ListIterator.hasNext etc. are API implementation, not clients.
+        assert all(t.class_name == "Iterator" for t in traces)
+
+    def test_deep_straightline_method_does_not_overflow(self):
+        body = "".join("int p%d = %d;" % (i, i) for i in range(3000))
+        program = build_program("class Deep { void pad() { %s } }" % body)
+        assert extract_traces(program, {"Iterator"}) == []
+
+
+class TestMining:
+    @pytest.fixture(scope="class")
+    def corpus_mined(self):
+        bundle = generate_pmd_corpus(CorpusSpec().scaled(0.1))
+        program = resolve_program(
+            [parse_compilation_unit(s) for s in bundle.all_sources()]
+        )
+        return mine_protocol(program, "Iterator")
+
+    def test_recovers_hasnext_as_state_test(self, corpus_mined):
+        assert "hasNext" in corpus_mined.state_tests
+        true_state, false_state = corpus_mined.state_tests["hasNext"]
+        assert true_state == "HASNEXT"
+
+    def test_next_guarded_by_hasnext(self, corpus_mined):
+        assert "next" in corpus_mined.guarded_methods
+        test, state = corpus_mined.guarded_methods["next"]
+        assert test == "hasNext"
+        assert state == "HASNEXT"
+
+    def test_may_follow_relation(self, corpus_mined):
+        assert corpus_mined.may_follow("hasNext", "next")
+        assert corpus_mined.may_follow("next", "hasNext")
+
+    def test_proposed_state_space(self, corpus_mined):
+        space = corpus_mined.proposed_state_space()
+        assert space.is_state("HASNEXT")
+        assert space.parent("HASNEXT") == "ALIVE"
+
+    def test_proposed_specs_shape(self, corpus_mined):
+        specs = corpus_mined.proposed_specs()
+        assert specs["hasNext"].true_indicates == "HASNEXT"
+        assert specs["next"].requires[0].state == "HASNEXT"
+
+    def test_describe_output(self, corpus_mined):
+        text = corpus_mined.describe()
+        assert "state test hasNext()" in text
+        assert "may-follow" in text
+
+    def test_mining_tolerates_buggy_traces(self):
+        # Three unguarded calls among many guarded ones must not defeat
+        # the statistical detection (the Perracotta insight).
+        sources = ["""
+        class Mixed {
+            %s
+            int bad(Collection<Integer> c) { return c.iterator().next(); }
+        }
+        """ % "".join(
+            """
+            int good%d(Collection<Integer> c) {
+                int acc = 0;
+                Iterator<Integer> it = c.iterator();
+                while (it.hasNext()) { acc = acc + it.next(); }
+                return acc;
+            }
+            """ % i
+            for i in range(8)
+        )]
+        program = build_program(*sources)
+        mined = mine_protocol(program, "Iterator")
+        assert "next" in mined.guarded_methods
+
+    def test_stream_protocol_mined(self):
+        program = resolve_program(
+            [
+                parse_compilation_unit(s)
+                for s in stream_sources(STREAM_CLIENT_GOOD)
+            ]
+        )
+        mined = mine_protocol(program, "Stream")
+        assert "ready" in mined.state_tests
+        assert mined.guarded_methods.get("read", (None,))[0] == "ready"
+
+    def test_state_naming(self):
+        assert _state_name("hasNext", True) == "HASNEXT"
+        assert _state_name("isReady", True) == "HASREADY"
+        assert _state_name("canRead", False) == "NOREAD"

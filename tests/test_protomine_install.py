@@ -1,0 +1,96 @@
+"""The full §5 combination: strip → mine → install → ANEK → PLURAL."""
+
+import pytest
+
+from repro.core import AnekPipeline
+from repro.corpus import CorpusSpec, generate_pmd_corpus
+from repro.java.parser import parse_compilation_unit
+from repro.java.symbols import resolve_program
+from repro.permissions.spec import spec_of_method
+from repro.plural.checker import check_program
+from repro.protomine import install_protocol, mine_protocol, strip_protocol
+
+
+def corpus_program(scale=0.1):
+    bundle = generate_pmd_corpus(CorpusSpec().scaled(scale))
+    return resolve_program(
+        [parse_compilation_unit(s) for s in bundle.all_sources()]
+    )
+
+
+class TestStrip:
+    def test_strip_removes_protocol(self):
+        program = corpus_program()
+        removed = strip_protocol(program, "Iterator")
+        assert removed > 0
+        iterator = program.lookup_class("Iterator")
+        assert spec_of_method(iterator.find_method("next")[0]).is_empty
+        assert all(a.name != "States" for a in iterator.annotations)
+
+    def test_strip_covers_subtypes(self):
+        program = corpus_program()
+        strip_protocol(program, "Iterator")
+        list_iterator = program.lookup_class("ListIterator")
+        assert spec_of_method(
+            list_iterator.find_method("next")[0]
+        ).is_empty
+
+    def test_strip_unknown_class_raises(self):
+        program = corpus_program()
+        with pytest.raises(ValueError):
+            strip_protocol(program, "Ghost")
+
+
+class TestInstall:
+    def test_install_attaches_states_and_specs(self):
+        program = corpus_program()
+        mined = mine_protocol(program, "Iterator")
+        strip_protocol(program, "Iterator")
+        annotated = install_protocol(program, mined)
+        assert annotated >= 2  # hasNext + next, on interface and impls
+        iterator = program.lookup_class("Iterator")
+        states = [a for a in iterator.annotations if a.name == "States"]
+        assert states
+        assert "HASNEXT" in states[0].argument("value")
+        next_spec = spec_of_method(iterator.find_method("next")[0])
+        assert next_spec.requires[0].state == "HASNEXT"
+
+    def test_install_unknown_class_raises(self):
+        program = corpus_program()
+        mined = mine_protocol(program, "Iterator")
+        mined.class_name = "Ghost"
+        with pytest.raises(ValueError):
+            install_protocol(program, mined)
+
+
+class TestMinedProtocolEquivalence:
+    def test_checker_profile_matches_declared_protocol(self):
+        """PLURAL under the mined protocol flags the same violations as
+        under the hand-written Figure 2 protocol."""
+        declared = corpus_program()
+        declared_warnings = check_program(declared)
+
+        mined_program = corpus_program()
+        mined = mine_protocol(mined_program, "Iterator")
+        strip_protocol(mined_program, "Iterator")
+        install_protocol(mined_program, mined)
+        mined_warnings = check_program(mined_program)
+
+        def profile(warnings):
+            return sorted((w.method, w.line, w.kind) for w in warnings)
+
+        assert profile(mined_warnings) == profile(declared_warnings)
+
+    def test_anek_on_mined_protocol_reaches_same_verdict(self):
+        """The end-to-end combination: inference against the mined
+        protocol leaves exactly the declared-protocol warning count."""
+        declared = corpus_program(scale=0.08)
+        declared_result = AnekPipeline().run_on_program(declared)
+
+        mined_program = corpus_program(scale=0.08)
+        mined = mine_protocol(mined_program, "Iterator")
+        strip_protocol(mined_program, "Iterator")
+        install_protocol(mined_program, mined)
+        mined_result = AnekPipeline().run_on_program(mined_program)
+
+        assert len(mined_result.warnings) == len(declared_result.warnings)

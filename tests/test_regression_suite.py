@@ -1,0 +1,27 @@
+"""The paper's small-benchmark regression suite (§4.2), as tests."""
+
+import pytest
+
+from repro.corpus.regression import REGRESSION_SUITE, run_case
+
+
+@pytest.mark.parametrize(
+    "case", REGRESSION_SUITE, ids=[case.name for case in REGRESSION_SUITE]
+)
+def test_regression_case(case):
+    outcome = run_case(case)
+    assert outcome.passed, "\n".join(outcome.failures)
+
+
+def test_suite_covers_every_rule():
+    rules = {case.rule for case in REGRESSION_SUITE}
+    for rule in ("L1", "L2", "L3", "H1", "H2", "H3", "H4", "H5"):
+        assert rule in rules
+
+
+def test_run_suite_helper():
+    from repro.corpus.regression import run_suite
+
+    outcomes = run_suite(REGRESSION_SUITE[:2])
+    assert len(outcomes) == 2
+    assert all(outcome.passed for outcome in outcomes)

@@ -1,0 +1,86 @@
+"""Tests for the spec-diff reporting tool."""
+
+from repro.permissions.spec import MethodSpec, PermClause
+from repro.reporting.specdiff import classify_pair, render_spec_diff, spec_diff
+
+
+def spec(requires=None, ensures=None, **kwargs):
+    def clauses(items):
+        return [PermClause(k, t, s) for k, t, s in (items or [])]
+
+    return MethodSpec(requires=clauses(requires), ensures=clauses(ensures), **kwargs)
+
+
+class TestClassifyPair:
+    def test_same(self):
+        a = spec(requires=[("full", "it", "ALIVE")])
+        b = spec(requires=[("full", "it", "ALIVE")])
+        assert classify_pair(a, b) == "Same"
+
+    def test_added_helpful(self):
+        a = spec(ensures=[("unique", "result", "ALIVE")])
+        assert classify_pair(a, None) == "ANEK Added Helpful Spec."
+
+    def test_added_constraining(self):
+        a = spec(requires=[("full", "it", "ALIVE")])
+        assert classify_pair(a, None) == "ANEK Added Constraining Spec."
+
+    def test_added_pure_requires_is_helpful(self):
+        a = spec(requires=[("pure", "this", "ALIVE")])
+        assert classify_pair(a, None) == "ANEK Added Helpful Spec."
+
+    def test_removed_missing(self):
+        b = spec(requires=[("full", "it", "ALIVE")])
+        assert classify_pair(None, b) == "ANEK Removed Spec."
+
+    def test_removed_state_test(self):
+        b = spec(requires=[("pure", "this", "ALIVE")], true_indicates="HASNEXT")
+        a = spec(requires=[("pure", "this", "ALIVE")])
+        assert classify_pair(a, b) == "ANEK Removed Spec."
+
+    def test_more_restrictive(self):
+        gold = spec(requires=[("pure", "it", "ALIVE")])
+        anek = spec(requires=[("unique", "it", "ALIVE")])
+        assert classify_pair(anek, gold) == "ANEK Changed Spec., More Restrictive"
+
+    def test_wrong(self):
+        gold = spec(requires=[("full", "it", "HASNEXT")])
+        anek = spec(requires=[("pure", "it", "ALIVE")])
+        assert classify_pair(anek, gold) == "ANEK Changed Spec., Wrong"
+
+    def test_both_empty_is_none(self):
+        assert classify_pair(MethodSpec(), None) is None
+
+
+class TestDiffRendering:
+    def test_rows_sorted_and_categorized(self):
+        inferred = {
+            "A.m": spec(requires=[("full", "it", "ALIVE")]),
+            "B.n": spec(ensures=[("unique", "result", "ALIVE")]),
+        }
+        gold = {"A.m": spec(requires=[("full", "it", "ALIVE")])}
+        rows = spec_diff(inferred, gold)
+        assert [row[0] for row in rows] == ["A.m", "B.n"]
+        assert rows[0][1] == "Same"
+
+    def test_exclude_same(self):
+        inferred = {"A.m": spec(requires=[("full", "it", "ALIVE")])}
+        gold = {"A.m": spec(requires=[("full", "it", "ALIVE")])}
+        assert spec_diff(inferred, gold, include_same=False) == []
+
+    def test_render_mentions_specs(self):
+        inferred = {"A.m": spec(requires=[("full", "it", "HASNEXT")])}
+        gold = {
+            "A.m": spec(
+                requires=[("pure", "this", "ALIVE")], true_indicates="HASNEXT"
+            )
+        }
+        text = render_spec_diff(inferred, gold)
+        assert "A.m" in text
+        assert "oracle:" in text and "anek:" in text
+        assert "@TrueIndicates(HASNEXT)" in text
+
+    def test_render_empty_oracle_spec(self):
+        inferred = {"A.m": spec(ensures=[("unique", "result", "ALIVE")])}
+        text = render_spec_diff(inferred, {})
+        assert "(none)" in text

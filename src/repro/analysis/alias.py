@@ -50,7 +50,11 @@ class MustAliasAnalysis(ForwardAnalysis):
         join_point = getattr(self, "_join_node", None)
         join_id = join_point.node_id if join_point is not None else -1
         joined = {}
-        for name in set(left) | set(right):
+        # Iterate in insertion order (left first, then right-only names)
+        # rather than over a set union: set iteration order depends on the
+        # per-process string hash seed, and the resulting dict order flows
+        # into PFG front construction and from there into factor order.
+        for name in list(left) + [n for n in right if n not in left]:
             left_witness = left.get(name)
             right_witness = right.get(name)
             if left_witness is None or right_witness is None:

@@ -62,6 +62,130 @@ class CallGraph:
         return seen
 
 
+def dependency_edges(graph, members):
+    """Caller -> callee edges of ``graph`` restricted to ``members``.
+
+    Returns ``{method_ref: [callee_ref, ...]}`` with every member present
+    as a key and callee lists deduplicated in first-call order, so the
+    result is deterministic given the members' order.
+    """
+    member_set = set(members)
+    edges = {ref: [] for ref in members}
+    for site in graph.sites:
+        if site.callee is None:
+            continue
+        if site.caller not in member_set or site.callee not in member_set:
+            continue
+        bucket = edges[site.caller]
+        if site.callee not in bucket:
+            bucket.append(site.callee)
+    return edges
+
+
+def strongly_connected_components(edges):
+    """Tarjan's SCC algorithm (iterative) over ``{node: [successor]}``.
+
+    Components are emitted in reverse topological order of the
+    condensation: every component appears after all components it can
+    reach.  Both the component order and the member order within each
+    component are deterministic functions of ``edges``'s iteration order.
+    """
+    index_of = {}
+    lowlink = {}
+    on_stack = set()
+    stack = []
+    components = []
+    counter = [0]
+
+    for root in edges:
+        if root in index_of:
+            continue
+        # Explicit DFS stack of (node, iterator position).
+        work = [(root, 0)]
+        while work:
+            node, pos = work.pop()
+            if pos == 0:
+                index_of[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            recurse = False
+            successors = edges.get(node, [])
+            for next_pos in range(pos, len(successors)):
+                succ = successors[next_pos]
+                if succ not in index_of:
+                    work.append((node, next_pos + 1))
+                    work.append((succ, 0))
+                    recurse = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if recurse:
+                continue
+            if lowlink[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member is node:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+def condensation_levels(graph, members, sort_key=None):
+    """Partition ``members`` into SCC-condensation levels.
+
+    Level ``i`` holds every method whose SCC only depends (through
+    caller -> callee edges) on SCCs in levels ``< i``; level 0 methods
+    call no other member method.  Two methods in the same level never
+    exchange summaries directly *across* SCCs, so a level-synchronous
+    scheduler may solve a whole level concurrently against a snapshot of
+    the summary store (intra-SCC edges — recursion — resolve across
+    rounds, Jacobi style).
+
+    Returns ``(levels, scc_count)`` where ``levels`` is a list of lists
+    of MethodRefs; each level is sorted by ``sort_key`` (default:
+    qualified method name) so the merge order downstream is
+    deterministic.
+    """
+    members = list(members)
+    edges = dependency_edges(graph, members)
+    components = strongly_connected_components(edges)
+    component_of = {}
+    for component in components:
+        marker = id(component)
+        for member in component:
+            component_of[member] = marker
+    depth_of = {}
+    component_members = {id(c): c for c in components}
+    # Tarjan emits callees before callers, so every component's callee
+    # components already have a depth when it is visited.
+    for component in components:
+        marker = id(component)
+        depth = 0
+        for member in component:
+            for callee in edges[member]:
+                callee_marker = component_of[callee]
+                if callee_marker == marker:
+                    continue
+                depth = max(depth, depth_of[callee_marker] + 1)
+        depth_of[marker] = depth
+    if sort_key is None:
+        sort_key = lambda ref: ref.qualified_name  # noqa: E731
+    max_depth = max(depth_of.values(), default=-1)
+    levels = [[] for _ in range(max_depth + 1)]
+    for marker, component in component_members.items():
+        levels[depth_of[marker]].extend(component)
+    for level in levels:
+        level.sort(key=sort_key)
+    return levels, len(components)
+
+
 def build_call_graph(program, lowered_methods=None):
     """Build the call graph.
 

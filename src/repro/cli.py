@@ -31,9 +31,21 @@ def _read_sources(paths, include_api):
     return sources
 
 
+def resolve_executor_args(executor, jobs):
+    """CLI executor selection: ``--jobs N`` (N != 1) implies the process
+    executor unless ``--executor`` picked one explicitly."""
+    if executor is None:
+        executor = "process" if jobs not in (None, 0, 1) else "worklist"
+    return executor, jobs or 0
+
+
 def cmd_infer(args, out):
+    executor, jobs = resolve_executor_args(args.executor, args.jobs)
     settings = InferenceSettings(
-        threshold=args.threshold, max_worklist_iters=args.max_iters
+        threshold=args.threshold,
+        max_worklist_iters=args.max_iters,
+        executor=executor,
+        jobs=jobs,
     )
     pipeline = AnekPipeline(settings=settings)
     result = pipeline.run_on_sources(_read_sources(args.files, args.api))
@@ -130,10 +142,19 @@ def cmd_explain(args, out):
 
 def cmd_table(args, out):
     from repro.corpus import CorpusSpec
-    from repro.reporting.experiments import PmdExperiment, table3_experiment
+    from repro.reporting.experiments import (
+        PmdExperiment,
+        table3_experiment,
+        table5_parallel,
+    )
 
     if args.number == 3:
         result = table3_experiment(methods=args.methods)
+        print(result.table.render(), file=out)
+        return 0
+    if args.number == 5:
+        spec = CorpusSpec() if args.full else CorpusSpec().scaled(args.scale)
+        result = table5_parallel(corpus_spec=spec, jobs=args.jobs)
         print(result.table.render(), file=out)
         return 0
     spec = CorpusSpec() if args.full else CorpusSpec().scaled(args.scale)
@@ -170,6 +191,16 @@ def cmd_figure(args, out):
     return 0
 
 
+def _job_count(text):
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError("expected an integer, got %r" % text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0 (0 = CPU count)")
+    return value
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -185,6 +216,13 @@ def build_parser():
                        help="extraction threshold t in [0.5, 1)")
     infer.add_argument("--max-iters", type=int, default=0,
                        help="worklist iteration cap (0 = 3 passes)")
+    infer.add_argument("--jobs", type=_job_count, default=0,
+                       help="parallel workers (implies --executor process; "
+                            "0 = CPU count when an executor is selected)")
+    infer.add_argument("--executor", default=None,
+                       choices=("worklist", "serial", "thread", "process"),
+                       help="inference engine: the sequential worklist "
+                            "(default) or the level-synchronous scheduler")
     infer.add_argument("--emit-source", action="store_true",
                        help="print the annotated sources")
     infer.set_defaults(run=cmd_infer)
@@ -211,12 +249,15 @@ def build_parser():
     explain.set_defaults(run=cmd_explain)
 
     table = sub.add_parser("table", help="regenerate a paper table")
-    table.add_argument("number", type=int, choices=(1, 2, 3, 4))
+    table.add_argument("number", type=int, choices=(1, 2, 3, 4, 5),
+                       help="1-4 = paper tables; 5 = executor speedups")
     table.add_argument("--full", action="store_true",
                        help="paper-scale corpus (tables 1/2/4)")
     table.add_argument("--scale", type=float, default=0.1)
     table.add_argument("--methods", type=int, default=24,
                        help="branchy-program size (table 3)")
+    table.add_argument("--jobs", type=_job_count, default=0,
+                       help="parallel workers for table 5 (0 = CPU count)")
     table.set_defaults(run=cmd_table)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")

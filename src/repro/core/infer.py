@@ -7,6 +7,11 @@ summary changed — re-enqueues its dependents.  The loop runs for at most
 ``max_worklist_iters`` model solves (the paper: "it suffices to run the
 inference algorithm for a fixed number of iterations without reaching a
 fixpoint"), trading accuracy against scalability.
+
+Besides the sequential worklist, ``InferenceSettings.executor`` selects
+the level-synchronous scheduled engine (``serial``/``thread``/
+``process``, see :mod:`repro.core.parallel`), which solves whole
+call-graph levels concurrently and merges summaries deterministically.
 """
 
 import time
@@ -16,6 +21,7 @@ from dataclasses import dataclass, field
 from repro.analysis.callgraph import build_call_graph
 from repro.core.heuristics import HeuristicConfig
 from repro.core.model import MethodModel
+from repro.core.parallel import EXECUTORS
 from repro.core.pfg_builder import build_pfg
 from repro.core.priors import SpecEnvironment
 from repro.core.summaries import (
@@ -35,6 +41,20 @@ class InferenceSettings:
     bp_tolerance: float = 1e-4
     threshold: float = 0.5  # the paper's t in [0.5, 1)
     summary_change_threshold: float = 0.02
+    #: "worklist" = the sequential Figure 9 engine; "serial"/"thread"/
+    #: "process" = the level-synchronous scheduler of repro.core.parallel.
+    executor: str = "worklist"
+    #: Worker count for the thread/process executors (0 = CPU count).
+    jobs: int = 0
+
+    def __post_init__(self):
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                "unknown executor %r (expected one of %s)"
+                % (self.executor, ", ".join(EXECUTORS))
+            )
+        if self.jobs < 0:
+            raise ValueError("jobs must be >= 0, got %d" % self.jobs)
 
     def resolved_max_iters(self, method_count):
         if self.max_worklist_iters > 0:
@@ -52,6 +72,16 @@ class InferenceStats:
     pfg_nodes: int = 0
     factors: int = 0
     constraint_counts: dict = field(default_factory=dict)
+    #: Which engine actually ran (the process executor falls back to
+    #: threads when the program or config cannot be pickled).
+    executor: str = "worklist"
+    jobs: int = 1
+    #: Scheduled-engine shape: SCC-condensation levels and rounds run.
+    levels: int = 0
+    sccs: int = 0
+    rounds: int = 0
+    #: Per-level trace entries: {round, level, methods, seconds}.
+    schedule: list = field(default_factory=list)
 
 
 class AnekInference:
@@ -67,23 +97,27 @@ class AnekInference:
         )
         self.pfgs = {}
         self.stats = InferenceStats()
+        self.call_graph = None
+        self.method_set = set()
         self._callers_of = {}
 
     # -- initialization (Figure 9 lines 1-7) -------------------------------------
 
-    def _initialize(self):
+    def _initialize(self, build_pfgs=True):
         methods = list(self.program.methods_with_bodies())
         self.stats.methods = len(methods)
-        for method_ref in methods:
-            pfg = build_pfg(self.program, method_ref)
-            self.pfgs[method_ref] = pfg
-            self.stats.pfg_nodes += pfg.node_count()
-        call_graph = build_call_graph(self.program)
+        self.method_set = set(methods)
+        if build_pfgs:
+            for method_ref in methods:
+                pfg = build_pfg(self.program, method_ref)
+                self.pfgs[method_ref] = pfg
+                self.stats.pfg_nodes += pfg.node_count()
+        self.call_graph = build_call_graph(self.program)
         for method_ref in methods:
             self._callers_of[method_ref] = [
                 caller
-                for caller in call_graph.caller_methods_of(method_ref)
-                if caller in self.pfgs
+                for caller in self.call_graph.caller_methods_of(method_ref)
+                if caller in self.method_set
             ]
         return methods
 
@@ -91,6 +125,10 @@ class AnekInference:
 
     def run(self):
         """Run inference; returns {method_ref: boundary marginals dict}."""
+        if self.settings.executor != "worklist":
+            from repro.core.parallel import run_scheduled
+
+            return run_scheduled(self)
         start = time.perf_counter()
         methods = self._initialize()
         worklist = deque(methods)

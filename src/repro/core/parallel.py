@@ -1,0 +1,440 @@
+"""Parallel ANEK-INFER: level-synchronous scheduling over the call graph.
+
+The paper's modularity claim is that probabilistic method summaries are
+the *only* channel between per-method models, so independent methods can
+be solved concurrently.  This module makes that operational:
+
+* the call graph is condensed into SCC levels
+  (:func:`repro.analysis.callgraph.condensation_levels`) — methods in
+  the same level share no cross-SCC summary dependency;
+* each round walks the levels callee-first; every level's models are
+  solved concurrently against a *snapshot* of the summary store taken at
+  the start of the level;
+* the solved marginals are merged back in sorted method-key order, so
+  the final summaries (and therefore every downstream marginal) are
+  independent of task completion order.
+
+Three interchangeable executors drive the level solves — ``serial``
+(inline), ``thread`` (:class:`~concurrent.futures.ThreadPoolExecutor`)
+and ``process`` (:class:`~concurrent.futures.ProcessPoolExecutor`, true
+parallelism).  All three run the *same* schedule, exchange the *same*
+picklable payloads, and merge in the *same* order, which is the
+determinism guarantee the differential test suite
+(``tests/test_parallel_differential.py``) locks in: marginals agree
+bit-for-bit across executors.
+
+Rounds repeat until either the round budget derived from
+``InferenceSettings.max_worklist_iters`` is exhausted or a round leaves
+every summary and every piece of caller evidence unchanged.  Later
+rounds only re-solve *dirty* methods — those whose own summary, callee
+summaries, or incoming evidence changed — mirroring the sequential
+worklist's re-enqueue rule.  Intra-SCC (recursive) summary edges resolve
+across rounds, Jacobi style.
+"""
+
+import math
+import multiprocessing
+import os
+import pickle
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.analysis.callgraph import condensation_levels
+from repro.core.model import MethodModel
+from repro.core.pfg_builder import build_pfg
+from repro.core.priors import SpecEnvironment
+from repro.core.summaries import (
+    SummaryStore,
+    TargetMarginal,
+    clip_marginal,
+    satisfaction_evidence,
+)
+
+#: Executors accepted by ``InferenceSettings.executor``.  ``worklist`` is
+#: the sequential reference engine (paper Figure 9); the other three run
+#: the level-synchronous schedule above.
+EXECUTORS = ("worklist", "serial", "thread", "process")
+
+#: The subset of :data:`EXECUTORS` that runs the scheduled engine.
+SCHEDULED_EXECUTORS = ("serial", "thread", "process")
+
+
+def resolve_jobs(jobs):
+    """Worker count: ``jobs`` if positive, else the machine's CPU count."""
+    if jobs and jobs > 0:
+        return int(jobs)
+    return os.cpu_count() or 1
+
+
+@dataclass
+class MethodSolveOutcome:
+    """Picklable result of solving one method's model.
+
+    Marginals travel as plain ``(kind, state)`` dict payloads
+    (:meth:`TargetMarginal.to_payload`) and methods as stable string keys
+    (:func:`repro.java.symbols.method_key`), so an outcome can cross a
+    process boundary and re-attach to the parent's ASTs.
+    """
+
+    key: str
+    boundary: list  # [((slot, target), marginal payload), ...]
+    deposits: list  # [(callee key, slot, target, site key, payload), ...]
+    factor_count: int
+    constraint_counts: dict
+
+
+def solve_method_to_outcome(
+    program, method_ref, key, pfg, config, settings, spec_env, store, key_of
+):
+    """Build + SOLVE one method's model; every executor funnels through
+    this single code path so floating-point behaviour cannot diverge."""
+    model = MethodModel(
+        program, pfg, config, spec_env=spec_env, summary_store=store
+    ).build()
+    result = model.solve(
+        max_iters=settings.bp_iters,
+        damping=settings.bp_damping,
+        tolerance=settings.bp_tolerance,
+    )
+    boundary = [
+        (slot_target, marginal.to_payload())
+        for slot_target, marginal in model.boundary_marginals(result).items()
+    ]
+    deposits = []
+    for callee, slot, target, site_key, marginal in model.callsite_marginals(
+        result
+    ):
+        caller_ref, site_index = site_key
+        deposits.append(
+            (
+                key_of[callee],
+                slot,
+                target,
+                (key_of[caller_ref], site_index),
+                marginal.to_payload(),
+            )
+        )
+    return MethodSolveOutcome(
+        key=key,
+        boundary=boundary,
+        deposits=deposits,
+        factor_count=model.graph.factor_count,
+        constraint_counts=dict(model.generator.counts),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Process-pool worker side
+# ---------------------------------------------------------------------------
+
+#: Per-worker state, installed once by the pool initializer.
+_WORKER = None
+
+
+def _process_worker_init(blob):
+    """Unpickle the program once per worker and index it by method key.
+
+    The blob carries the parent's already-built PFGs: pickling them is an
+    order of magnitude cheaper than re-lowering every method in every
+    worker, and ``pickle`` memoization keeps them attached to the same
+    unpickled AST objects as the worker's program copy.
+    """
+    global _WORKER
+    program, config, settings, pfgs_by_key = pickle.loads(blob)
+    table = program.method_key_table()
+    _WORKER = {
+        "program": program,
+        "config": config,
+        "settings": settings,
+        "spec_env": SpecEnvironment(program),
+        "table": table,
+        "key_of": {ref: key for key, ref in table.items()},
+        "pfgs": pfgs_by_key,
+    }
+
+
+def _process_solve_chunk(keys, store_payload):
+    """Solve a chunk of one level's methods inside a worker process."""
+    state = _WORKER
+    store = SummaryStore.from_payload(store_payload, state["table"])
+    outcomes = []
+    for key in keys:
+        ref = state["table"][key]
+        pfg = state["pfgs"].get(key)
+        if pfg is None:  # pragma: no cover - defensive; blob ships all PFGs
+            pfg = state["pfgs"][key] = build_pfg(state["program"], ref)
+        outcomes.append(
+            solve_method_to_outcome(
+                state["program"],
+                ref,
+                key,
+                pfg,
+                state["config"],
+                state["settings"],
+                state["spec_env"],
+                store,
+                state["key_of"],
+            )
+        )
+    return outcomes
+
+
+# ---------------------------------------------------------------------------
+# Executor backends
+# ---------------------------------------------------------------------------
+
+
+class _SerialBackend:
+    """Inline execution: the deterministic reference for the schedule.
+
+    Solving only *reads* the summary store and merging happens strictly
+    after the level completes, so the live store is passed straight
+    through — the payload round-trip is pure copying and the process
+    backend's reconstruction yields value-identical dicts, keeping the
+    three executors' floats equal.
+    """
+
+    name = "serial"
+
+    def __init__(self, scheduler):
+        self.scheduler = scheduler
+
+    def solve_level(self, keys, store):
+        return [self.scheduler.solve_local(key, store) for key in keys]
+
+    def close(self):
+        pass
+
+
+class _ThreadBackend:
+    """Thread-pool execution (shared ASTs, GIL-bound but overlap-capable)."""
+
+    name = "thread"
+
+    def __init__(self, scheduler, jobs):
+        self.scheduler = scheduler
+        self.pool = ThreadPoolExecutor(
+            max_workers=jobs, thread_name_prefix="anek-infer"
+        )
+
+    def solve_level(self, keys, store):
+        futures = [
+            self.pool.submit(self.scheduler.solve_local, key, store)
+            for key in keys
+        ]
+        # Collect in submission order: completion order never leaks out.
+        return [future.result() for future in futures]
+
+    def close(self):
+        self.pool.shutdown()
+
+
+class _ProcessBackend:
+    """Process-pool execution: true parallelism across CPU cores."""
+
+    name = "process"
+
+    def __init__(self, scheduler, jobs, blob):
+        self.scheduler = scheduler
+        self.jobs = jobs
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - non-POSIX fallback
+            context = multiprocessing.get_context()
+        self.pool = ProcessPoolExecutor(
+            max_workers=jobs,
+            mp_context=context,
+            initializer=_process_worker_init,
+            initargs=(blob,),
+        )
+
+    def solve_level(self, keys, store):
+        store_payload = store.to_payload(self.scheduler.key_of)
+        # One chunk per worker bounds the per-level IPC round-trips.
+        chunks = [keys[i :: self.jobs] for i in range(self.jobs)]
+        futures = [
+            self.pool.submit(_process_solve_chunk, chunk, store_payload)
+            for chunk in chunks
+            if chunk
+        ]
+        by_key = {}
+        for future in futures:
+            for outcome in future.result():
+                by_key[outcome.key] = outcome
+        return [by_key[key] for key in keys]
+
+    def close(self):
+        self.pool.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# The level-synchronous scheduler
+# ---------------------------------------------------------------------------
+
+
+class LevelScheduler:
+    """Runs ANEK-INFER as a level-synchronous schedule over one program."""
+
+    def __init__(self, inference):
+        self.inference = inference
+        self.program = inference.program
+        self.config = inference.config
+        self.settings = inference.settings
+        self.table = self.program.method_key_table()
+        self.key_of = {ref: key for key, ref in self.table.items()}
+
+    # -- worker entry for serial/thread backends ------------------------------
+
+    def solve_local(self, key, store):
+        ref = self.table[key]
+        return solve_method_to_outcome(
+            self.program,
+            ref,
+            key,
+            self.inference.pfgs[ref],
+            self.config,
+            self.settings,
+            self.inference.spec_env,
+            store,
+            self.key_of,
+        )
+
+    # -- backend construction --------------------------------------------------
+
+    def make_backend(self, jobs):
+        executor = self.settings.executor
+        if executor == "serial":
+            return _SerialBackend(self)
+        if executor == "thread":
+            return _ThreadBackend(self, jobs)
+        pfgs_by_key = {
+            self.key_of[ref]: pfg for ref, pfg in self.inference.pfgs.items()
+        }
+        try:
+            blob = pickle.dumps(
+                (self.program, self.config, self.settings, pfgs_by_key),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        except Exception as exc:
+            warnings.warn(
+                "process executor unavailable (%s: %s); falling back to "
+                "threads" % (type(exc).__name__, exc),
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return _ThreadBackend(self, jobs)
+        return _ProcessBackend(self, jobs, blob)
+
+    # -- the schedule ----------------------------------------------------------
+
+    def run(self):
+        inference = self.inference
+        settings = self.settings
+        stats = inference.stats
+        start = time.perf_counter()
+        methods = inference._initialize()
+        results = {}
+        if methods:
+            levels, scc_count = condensation_levels(
+                inference.call_graph,
+                methods,
+                sort_key=lambda ref: self.key_of[ref],
+            )
+            stats.levels = len(levels)
+            stats.sccs = scc_count
+            jobs = resolve_jobs(settings.jobs)
+            backend = self.make_backend(jobs)
+            try:
+                self._run_rounds(levels, backend)
+            finally:
+                backend.close()
+            stats.executor = backend.name
+            stats.jobs = jobs
+            results = self._results
+        else:
+            stats.executor = settings.executor
+            stats.jobs = resolve_jobs(settings.jobs)
+        stats.elapsed_seconds = time.perf_counter() - start
+        return results
+
+    def _run_rounds(self, levels, backend):
+        inference = self.inference
+        stats = inference.stats
+        store = inference.summaries
+        method_count = sum(len(level) for level in levels)
+        max_iters = self.settings.resolved_max_iters(method_count)
+        rounds = max(1, math.ceil(max_iters / max(method_count, 1)))
+        self._results = {}
+        dirty = set(ref for level in levels for ref in level)
+        for round_index in range(1, rounds + 1):
+            round_changed = set()
+            for level_index, level in enumerate(levels):
+                targets = [ref for ref in level if ref in dirty]
+                if not targets:
+                    continue
+                keys = [self.key_of[ref] for ref in targets]
+                level_start = time.perf_counter()
+                outcomes = backend.solve_level(keys, store)
+                for outcome in outcomes:
+                    self._merge_outcome(outcome, round_changed)
+                stats.solves += len(targets)
+                stats.schedule.append(
+                    {
+                        "round": round_index,
+                        "level": level_index,
+                        "methods": len(targets),
+                        "seconds": time.perf_counter() - level_start,
+                    }
+                )
+            stats.rounds = round_index
+            dirty = round_changed
+            if not dirty:
+                break
+
+    def _merge_outcome(self, outcome, round_changed):
+        """Fold one solved model back into the shared state.
+
+        Outcomes arrive in sorted method-key order (the backends preserve
+        submission order), so every store mutation below happens in the
+        same sequence on every executor.
+        """
+        inference = self.inference
+        stats = inference.stats
+        store = inference.summaries
+        confidence = self.config.summary_confidence
+        ref = self.table[outcome.key]
+        boundary = {
+            slot_target: TargetMarginal.from_payload(payload)
+            for slot_target, payload in outcome.boundary
+        }
+        self._results[ref] = boundary
+        stats.factors += outcome.factor_count
+        for rule, count in outcome.constraint_counts.items():
+            stats.constraint_counts[rule] = (
+                stats.constraint_counts.get(rule, 0) + count
+            )
+        own_changed = False
+        for (slot, target), marginal in boundary.items():
+            capped = clip_marginal(marginal, confidence)
+            if store.update(ref, slot, target, capped):
+                own_changed = True
+        if own_changed:
+            round_changed.add(ref)
+            round_changed.update(inference._callers_of.get(ref, []))
+        for callee_key, slot, target, site_key, payload in outcome.deposits:
+            marginal = TargetMarginal.from_payload(payload)
+            if slot == "pre":
+                marginal = satisfaction_evidence(marginal)
+            capped = clip_marginal(marginal, confidence)
+            callee = self.table[callee_key]
+            if store.deposit_evidence(callee, slot, target, site_key, capped):
+                if callee in inference.method_set:
+                    round_changed.add(callee)
+
+
+def run_scheduled(inference):
+    """Entry point used by :meth:`AnekInference.run` for non-worklist
+    executors."""
+    return LevelScheduler(inference).run()

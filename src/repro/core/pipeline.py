@@ -27,6 +27,9 @@ class StageTrace:
     name: str
     seconds: float
     detail: str = ""
+    #: Nested traces (e.g. scheduler levels inside anek-infer) are shown
+    #: in the stage listing but excluded from ``total_seconds``.
+    nested: bool = False
 
 
 @dataclass
@@ -53,7 +56,9 @@ class PipelineResult:
 
     @property
     def total_seconds(self):
-        return sum(stage.seconds for stage in self.stages)
+        return sum(
+            stage.seconds for stage in self.stages if not stage.nested
+        )
 
     def describe_stages(self):
         lines = ["ANEK pipeline (paper Figure 10):"]
@@ -106,18 +111,32 @@ class AnekPipeline:
         inference = AnekInference(program, self.config, self.settings)
         marginals = inference.run()
         result.inference_stats = inference.stats
-        result.stages.append(
-            StageTrace(
-                "anek-infer",
-                time.perf_counter() - start,
-                "%d methods, %d solves, %d factors"
-                % (
-                    inference.stats.methods,
-                    inference.stats.solves,
-                    inference.stats.factors,
-                ),
-            )
+        stats = inference.stats
+        detail = "%d methods, %d solves, %d factors" % (
+            stats.methods,
+            stats.solves,
+            stats.factors,
         )
+        if stats.executor != "worklist":
+            detail += ", executor=%s jobs=%d (%d levels, %d rounds)" % (
+                stats.executor,
+                stats.jobs,
+                stats.levels,
+                stats.rounds,
+            )
+        result.stages.append(
+            StageTrace("anek-infer", time.perf_counter() - start, detail)
+        )
+        # Per-level trace of the scheduled engine (empty for the worklist).
+        for entry in stats.schedule:
+            result.stages.append(
+                StageTrace(
+                    "  level %d.%d" % (entry["round"], entry["level"]),
+                    entry["seconds"],
+                    "%d methods" % entry["methods"],
+                    nested=True,
+                )
+            )
         start = time.perf_counter()
         result.specs = inference.extract_specs(marginals)
         result.preannotated_methods = {

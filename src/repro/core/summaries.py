@@ -37,6 +37,17 @@ class TargetMarginal:
         self.kind = kind  # dict value -> prob, or None
         self.state = state  # dict value -> prob, or None
 
+    def to_payload(self):
+        """A plain, picklable ``(kind, state)`` pair of dicts."""
+        kind = dict(self.kind) if self.kind is not None else None
+        state = dict(self.state) if self.state is not None else None
+        return (kind, state)
+
+    @classmethod
+    def from_payload(cls, payload):
+        kind, state = payload
+        return cls(kind=kind, state=state)
+
     def delta(self, other):
         if other is None:
             return 1.0
@@ -114,6 +125,79 @@ class SummaryStore:
 
     def evidence_count(self):
         return sum(len(bucket) for bucket in self._evidence.values())
+
+    # -- picklable exchange (parallel ANEK-INFER) -------------------------------
+
+    def to_payload(self, key_of):
+        """Serialize the store into plain picklable data.
+
+        ``key_of`` maps MethodRefs to stable string keys (see
+        :func:`repro.java.symbols.method_key`); site keys are passed
+        through unchanged, so the scheduled engine must use key-based
+        site keys.  Entries are emitted in insertion order, keeping the
+        payload — and everything rebuilt from it — deterministic.
+        """
+        summaries = []
+        for method_ref, summary in self._summaries.items():
+            summaries.append(
+                (
+                    key_of[method_ref],
+                    (
+                        [
+                            (target, marginal.to_payload())
+                            for target, marginal in summary.pre.items()
+                        ],
+                        [
+                            (target, marginal.to_payload())
+                            for target, marginal in summary.post.items()
+                        ],
+                        summary.result.to_payload()
+                        if summary.result is not None
+                        else None,
+                    ),
+                )
+            )
+        evidence = []
+        for (callee, slot, target), bucket in self._evidence.items():
+            evidence.append(
+                (
+                    (key_of[callee], slot, target),
+                    [
+                        (site_key, marginal.to_payload())
+                        for site_key, marginal in bucket.items()
+                    ],
+                )
+            )
+        return {
+            "change_threshold": self.change_threshold,
+            "summaries": summaries,
+            "evidence": evidence,
+        }
+
+    @classmethod
+    def from_payload(cls, payload, ref_of):
+        """Rebuild a store from :meth:`to_payload` data.
+
+        ``ref_of`` maps string keys back to MethodRefs in the *current*
+        process (e.g. ``program.method_key_table()``), so a payload can
+        cross a process boundary and re-attach to that process's ASTs.
+        """
+        store = cls(change_threshold=payload["change_threshold"])
+        for key, (pre, post, result) in payload["summaries"]:
+            summary = store.summary_of(ref_of[key])
+            for target, marginal in pre:
+                summary.pre[target] = TargetMarginal.from_payload(marginal)
+            for target, marginal in post:
+                summary.post[target] = TargetMarginal.from_payload(marginal)
+            if result is not None:
+                summary.result = TargetMarginal.from_payload(result)
+        for (callee_key, slot, target), bucket in payload["evidence"]:
+            dest = store._evidence.setdefault(
+                (ref_of[callee_key], slot, target), {}
+            )
+            for site_key, marginal in bucket:
+                dest[site_key] = TargetMarginal.from_payload(marginal)
+        return store
 
 
 def marginal_from_result(result, kind_var, state_var):

@@ -40,6 +40,25 @@ class MethodRef:
         return hash((id(self.class_decl), id(self.method_decl)))
 
 
+def method_key(method_ref):
+    """A stable, process-portable identifier for a method.
+
+    ``qualified_name`` is ambiguous under overloading, and
+    :class:`MethodRef` hashes by object identity, so neither survives a
+    trip through ``pickle`` into a worker process.  The key encodes the
+    declaring class plus the method's position in the class body, which
+    is identical in every process that parsed the same sources.
+    """
+    decl = method_ref.class_decl
+    for index, method in enumerate(decl.methods):
+        if method is method_ref.method_decl:
+            return "%s.%s#%d" % (decl.name, method.name, index)
+    raise ValueError(
+        "method %r not declared in class %r"
+        % (method_ref.method_decl.name, decl.name)
+    )
+
+
 class Program:
     """The resolved program: class table plus lookup helpers."""
 
@@ -165,6 +184,10 @@ class Program:
         for ref in self.all_methods():
             if ref.method_decl.body is not None:
                 yield ref
+
+    def method_key_table(self):
+        """Map :func:`method_key` strings to MethodRefs for all methods."""
+        return {method_key(ref): ref for ref in self.all_methods()}
 
     def source_lines(self):
         """Total pretty-printed source line count across all units."""

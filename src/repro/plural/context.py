@@ -248,7 +248,9 @@ class Context:
         bindings = {}
         perms = {}
         tests = {}
-        for var in set(self.bindings) & set(other.bindings):
+        # Insertion-order iteration keeps the joined context's dict order
+        # (and thus any downstream iteration) hash-seed independent.
+        for var in [v for v in self.bindings if v in other.bindings]:
             cell_a = self.bindings[var]
             cell_b = other.bindings[var]
             perm_a = self.perms.get(cell_a, NO_PERM)
@@ -276,7 +278,7 @@ class Context:
                 )
             else:
                 perms[cell] = candidate
-        for var in set(self.tests) & set(other.tests):
+        for var in [v for v in self.tests if v in other.tests]:
             if self.tests[var] == other.tests[var] and var in bindings:
                 tests[var] = self.tests[var]
         return Context(bindings, perms, tests)

@@ -1,0 +1,118 @@
+"""Golden regression corpus for the example programs.
+
+Each golden file under ``tests/golden/`` records, line by line, every
+non-empty spec the pipeline infers for one example program (in sorted
+method order) followed by the PLURAL warnings on the annotated result.
+Any change to the inference numerics, heuristics, or extraction shows up
+here as a diff against a reviewed snapshot.
+
+To bless intentional changes::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_specs.py --update-golden
+"""
+
+import os
+
+import pytest
+
+from repro.core import infer_and_check
+from repro.corpus.examples import figure3_sources
+from repro.corpus.iterator_api import ITERATOR_API_SOURCE
+from repro.corpus.stream_api import stream_sources
+
+GOLDEN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "golden")
+
+QUICKSTART_CLIENT = """
+class Ledger {
+    @Perm("share")
+    Collection<Integer> amounts;
+
+    Ledger() {
+        this.amounts = new ArrayList<Integer>();
+    }
+
+    Iterator<Integer> createAmountIter() {
+        return amounts.iterator();
+    }
+
+    int total() {
+        int sum = 0;
+        Iterator<Integer> it = createAmountIter();
+        while (it.hasNext()) {
+            sum = sum + it.next();
+        }
+        return sum;
+    }
+}
+"""
+
+STREAM_CLIENT = """
+class LogManager {
+    @Perm("share")
+    FileSystem fs;
+    Stream createLogStream() {
+        return fs.open("app.log");
+    }
+    int tail() {
+        int total = 0;
+        Stream s = createLogStream();
+        while (s.ready()) { total = total + s.read(); }
+        s.close();
+        return total;
+    }
+}
+"""
+
+PROGRAMS = {
+    "quickstart": lambda: [ITERATOR_API_SOURCE, QUICKSTART_CLIENT],
+    "stream_protocol": lambda: stream_sources(STREAM_CLIENT),
+    "figure3_conflicts": figure3_sources,
+}
+
+
+def render_spec(spec):
+    parts = []
+    for name, arguments in spec.to_annotations():
+        rendered = ", ".join(
+            '%s="%s"' % (key, value)
+            for key, value in sorted(arguments.items())
+        )
+        parts.append("@%s(%s)" % (name, rendered))
+    return " ".join(parts)
+
+
+def snapshot(sources):
+    """The canonical golden text for one program."""
+    result = infer_and_check(sources)
+    lines = []
+    for ref, spec in sorted(
+        result.specs.items(), key=lambda kv: kv[0].qualified_name
+    ):
+        if spec.is_empty:
+            continue
+        lines.append("%-36s %s" % (ref.qualified_name, render_spec(spec)))
+    lines.append("")
+    lines.append("warnings: %d" % len(result.warnings))
+    for warning in result.warnings:
+        lines.append("  " + warning.format())
+    return "\n".join(lines) + "\n"
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_golden_specs(name, update_golden):
+    actual = snapshot(PROGRAMS[name]())
+    path = os.path.join(GOLDEN_DIR, name + ".txt")
+    if update_golden:
+        with open(path, "w") as handle:
+            handle.write(actual)
+        return
+    assert os.path.exists(path), (
+        "missing golden file %s; run with --update-golden to create it"
+        % path
+    )
+    with open(path) as handle:
+        expected = handle.read()
+    assert actual == expected, (
+        "golden mismatch for %s; if the change is intentional, rerun with "
+        "--update-golden and review the diff" % name
+    )

@@ -46,6 +46,7 @@ def cmd_infer(args, out):
         max_worklist_iters=args.max_iters,
         executor=executor,
         jobs=jobs,
+        engine=args.engine,
     )
     pipeline = AnekPipeline(settings=settings)
     result = pipeline.run_on_sources(_read_sources(args.files, args.api))
@@ -223,6 +224,10 @@ def build_parser():
                        choices=("worklist", "serial", "thread", "process"),
                        help="inference engine: the sequential worklist "
                             "(default) or the level-synchronous scheduler")
+    infer.add_argument("--engine", default="compiled",
+                       choices=("loopy", "compiled"),
+                       help="BP engine: the compiled flat-array kernel "
+                            "(default) or the per-message loopy reference")
     infer.add_argument("--emit-source", action="store_true",
                        help="print the annotated sources")
     infer.set_defaults(run=cmd_infer)

@@ -2,8 +2,12 @@
 
 For every method a PFG and a probabilistic model are built; the worklist
 then repeatedly picks a method, applies the current callee summaries at
-its call sites, SOLVEs the model with loopy BP, and — if the method's
-summary changed — re-enqueues its dependents.  The loop runs for at most
+its call sites, SOLVEs the model with BP (the compiled flat-array kernel
+by default, or the loopy reference engine via ``engine="loopy"``), and —
+if the method's summary changed — re-enqueues its dependents.  Built
+models are cached across visits (``reuse_models``): a revisit rewrites
+only the prior/evidence slots whose inputs changed, and skips the solve
+outright when the input fingerprint is identical.  The loop runs for at most
 ``max_worklist_iters`` model solves (the paper: "it suffices to run the
 inference algorithm for a fixed number of iterations without reaching a
 fixpoint"), trading accuracy against scalability.
@@ -20,7 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.callgraph import build_call_graph
 from repro.core.heuristics import HeuristicConfig
-from repro.core.model import MethodModel
+from repro.core.model import ENGINES, ModelCache
 from repro.core.parallel import EXECUTORS
 from repro.core.pfg_builder import build_pfg
 from repro.core.priors import SpecEnvironment
@@ -46,6 +50,13 @@ class InferenceSettings:
     executor: str = "worklist"
     #: Worker count for the thread/process executors (0 = CPU count).
     jobs: int = 0
+    #: BP engine: "compiled" = flat-array kernel (fast path, default);
+    #: "loopy" = the per-message reference engine.
+    engine: str = "compiled"
+    #: Reuse each method's built model across worklist visits, rewriting
+    #: only mutated prior/evidence slots and skipping solves whose input
+    #: fingerprint is unchanged.  False rebuilds every visit.
+    reuse_models: bool = True
 
     def __post_init__(self):
         if self.executor not in EXECUTORS:
@@ -55,6 +66,11 @@ class InferenceSettings:
             )
         if self.jobs < 0:
             raise ValueError("jobs must be >= 0, got %d" % self.jobs)
+        if self.engine not in ENGINES:
+            raise ValueError(
+                "unknown engine %r (expected one of %s)"
+                % (self.engine, ", ".join(ENGINES))
+            )
 
     def resolved_max_iters(self, method_count):
         if self.max_worklist_iters > 0:
@@ -70,8 +86,20 @@ class InferenceStats:
     solves: int = 0
     elapsed_seconds: float = 0.0
     pfg_nodes: int = 0
+    #: Distinct factors *constructed* — counted once per model build, not
+    #: once per visit, so revisits of a reused model add nothing.
     factors: int = 0
     constraint_counts: dict = field(default_factory=dict)
+    #: Which BP engine ran ("compiled" or "loopy").
+    engine: str = "compiled"
+    #: Visit breakdown: models built from scratch / reused with slot
+    #: rewrites / skipped outright on an unchanged input fingerprint.
+    builds: int = 0
+    reuses: int = 0
+    skips: int = 0
+    #: Time split: model construction + slot refresh vs BP kernel time.
+    build_seconds: float = 0.0
+    solve_seconds: float = 0.0
     #: Which engine actually ran (the process executor falls back to
     #: threads when the program or config cannot be pickled).
     executor: str = "worklist"
@@ -96,7 +124,14 @@ class AnekInference:
             change_threshold=self.settings.summary_change_threshold
         )
         self.pfgs = {}
-        self.stats = InferenceStats()
+        self.stats = InferenceStats(engine=self.settings.engine)
+        self.models = ModelCache(
+            program,
+            self.config,
+            self.spec_env,
+            engine=self.settings.engine,
+            reuse=self.settings.reuse_models,
+        )
         self.call_graph = None
         self.method_set = set()
         self._callers_of = {}
@@ -150,25 +185,25 @@ class AnekInference:
         return results
 
     def _solve_one(self, method_ref, results):
-        """Build + SOLVE one method's model; returns methods to re-enqueue."""
+        """SOLVE one method (building or reusing its cached model);
+        returns methods to re-enqueue."""
         pfg = self.pfgs[method_ref]
-        model = MethodModel(
-            self.program,
-            pfg,
-            self.config,
-            spec_env=self.spec_env,
-            summary_store=self.summaries,
-        ).build()
-        self.stats.factors += model.graph.factor_count
-        for rule, count in model.generator.counts.items():
-            self.stats.constraint_counts[rule] = (
-                self.stats.constraint_counts.get(rule, 0) + count
-            )
-        result = model.solve(
-            max_iters=self.settings.bp_iters,
-            damping=self.settings.bp_damping,
-            tolerance=self.settings.bp_tolerance,
-        )
+        visit = self.models.solve(method_ref, pfg, self.summaries, self.settings)
+        model, result = visit.model, visit.result
+        if visit.built:
+            # Constraint generation ran: count its factors exactly once.
+            self.stats.builds += 1
+            self.stats.factors += model.graph.factor_count
+            for rule, count in model.generator.counts.items():
+                self.stats.constraint_counts[rule] = (
+                    self.stats.constraint_counts.get(rule, 0) + count
+                )
+        elif visit.skipped:
+            self.stats.skips += 1
+        else:
+            self.stats.reuses += 1
+        self.stats.build_seconds += visit.build_seconds
+        self.stats.solve_seconds += visit.solve_seconds
         boundary = model.boundary_marginals(result)
         results[method_ref] = boundary
         to_enqueue = []

@@ -5,7 +5,22 @@ for every PFG node, priors from declared specs (§3.2), logical and
 heuristic constraints (§3.3), callee summaries applied at call-site
 boundary nodes (APPLYSUMMARY), and caller evidence attached to the
 method's own boundary nodes.
+
+The worklist revisits each method many times with only its *inputs*
+(callee summaries, deposited caller evidence) changed, so a model built
+once can be reused: ``build(reserve_evidence_slots=True)`` pre-allocates
+one (initially uniform, hence neutral) evidence factor per boundary
+node, ``refresh`` rewrites just the summary-derived priors and evidence
+tables that changed, and ``solve(engine="compiled")`` pushes those
+mutated slots into the flat-array kernel and re-sweeps — no constraint
+regeneration, no graph reconstruction.  :class:`ModelCache` packages
+that lifecycle (plus fingerprint-based solve skipping) for the
+inference engines.
 """
+
+import time
+import warnings
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -16,9 +31,13 @@ from repro.core.priors import (
     SpecEnvironment,
     boundary_priors,
 )
+from repro.factorgraph.compiled import CompiledGraph
 from repro.factorgraph.factors import Factor
 from repro.factorgraph.graph import FactorGraph
 from repro.permissions.states import state_space_of_class
+
+#: Engines accepted by ``MethodModel.solve`` / ``InferenceSettings.engine``.
+ENGINES = ("compiled", "loopy")
 
 
 class NodeVariables:
@@ -91,29 +110,71 @@ class MethodModel:
         self.generator = ConstraintGenerator(
             self.graph, pfg, config, self.vars
         )
+        self._compiled = None
+        #: (slot, target, axis) -> (factor index, Factor) reserved slots.
+        self._evidence_slots = {}
+        #: Mutated-since-last-compile bookkeeping for incremental solves.
+        self._dirty_priors = set()
+        self._dirty_factors = {}
 
     # -- assembly -------------------------------------------------------------------
 
-    def build(self):
+    def build(self, reserve_evidence_slots=False):
+        """Assemble the factor graph.
+
+        With ``reserve_evidence_slots`` every boundary node gets a
+        pre-allocated unary evidence factor (uniform until real evidence
+        arrives — a uniform unary factor is the multiplicative identity
+        under BP's per-message normalization).  That fixes the graph
+        *structure* across worklist visits, so later visits only rewrite
+        prior vectors and evidence tables in place.
+        """
         # Materialize variables for every node first.
         for node in self.pfg.nodes:
             self.vars.kind(node)
             self.vars.state(node)
         self._apply_own_spec_priors()
         self._apply_callee_summaries()
-        self._apply_caller_evidence()
+        if reserve_evidence_slots:
+            self._reserve_evidence_slots()
+            self._refresh_evidence()
+        else:
+            self._apply_caller_evidence()
         self.generator.add_logical()
         self.generator.add_heuristics()
         return self
 
+    def refresh(self, summary_store=None):
+        """Reapply the mutable inputs of a built model.
+
+        Re-runs APPLYSUMMARY (callee summaries → call-node priors) and
+        the caller-evidence aggregation against the current summary
+        store, recording exactly which prior vectors and evidence tables
+        changed so the compiled kernel can be patched instead of
+        rebuilt.  Requires ``build(reserve_evidence_slots=True)``.
+        """
+        if summary_store is not None:
+            self.summary_store = summary_store
+        self._apply_callee_summaries()
+        self._refresh_evidence()
+        return self
+
+    def _write_prior(self, variable, vector):
+        if np.array_equal(variable.prior, vector):
+            return
+        variable.prior = vector
+        self._dirty_priors.add(variable.name)
+
     def _set_prior(self, node, kind_prior, state_prior):
         if kind_prior is not None:
             variable = self.vars.kind(node)
-            variable.prior = _prior_vector(variable, kind_prior)
+            self._write_prior(variable, _prior_vector(variable, kind_prior))
         if state_prior is not None:
             variable = self.vars.state(node)
             if variable is not None:
-                variable.prior = _prior_vector(variable, state_prior)
+                self._write_prior(
+                    variable, _prior_vector(variable, state_prior)
+                )
 
     def _apply_own_spec_priors(self):
         """Priors on this method's boundary nodes from its own spec."""
@@ -180,11 +241,10 @@ class MethodModel:
             return
         self._set_prior(node, marginal.kind, marginal.state)
 
-    def _apply_caller_evidence(self):
-        """Evidence factors on our boundary nodes from callers' demands."""
-        if self.summary_store is None:
-            return
-        method_ref = self.pfg.method_ref
+    # -- caller evidence ---------------------------------------------------------
+
+    def _boundary_slots(self):
+        """(slot, target, node) triples of this method's boundary nodes."""
         slots = []
         for target, node in self.pfg.param_pre.items():
             slots.append(("pre", target, node))
@@ -192,13 +252,69 @@ class MethodModel:
             slots.append(("post", target, node))
         if self.pfg.result_node is not None:
             slots.append(("result", "result", self.pfg.result_node))
-        for slot, target, node in slots:
+        return slots
+
+    def _apply_caller_evidence(self):
+        """Evidence factors on our boundary nodes from callers' demands."""
+        if self.summary_store is None:
+            return
+        method_ref = self.pfg.method_ref
+        for slot, target, node in self._boundary_slots():
             evidence = self.summary_store.evidence_for(method_ref, slot, target)
             if evidence:
                 self._add_evidence_factor(node, evidence, slot, target)
 
-    def _add_evidence_factor(self, node, evidence, slot, target):
-        """One aggregated evidence factor per boundary node.
+    def _reserve_evidence_slots(self):
+        """Pre-allocate one evidence factor per boundary variable.
+
+        Uniform tables are BP-neutral, so an unused slot never perturbs
+        the marginals; with slots fixed up front, evidence arriving on a
+        later worklist visit becomes a table rewrite instead of a graph
+        change.
+        """
+        for slot, target, node in self._boundary_slots():
+            kind_var = self.vars.kind(node)
+            self._reserve_slot(slot, target, "kind", kind_var)
+            state_var = self.vars.state(node)
+            if state_var is not None:
+                self._reserve_slot(slot, target, "state", state_var)
+
+    def _reserve_slot(self, slot, target, axis, variable):
+        index = len(self.graph.factors)
+        factor = Factor(
+            "ev/%s/%s/%s" % (slot, target, axis),
+            [variable],
+            variable.uniform(),
+        )
+        self.graph.add_factor(factor)
+        self._evidence_slots[(slot, target, axis)] = (index, factor, variable)
+
+    def _refresh_evidence(self):
+        """Rewrite reserved evidence tables from the current store."""
+        store = self.summary_store
+        method_ref = self.pfg.method_ref
+        for slot, target, node in self._boundary_slots():
+            evidence = (
+                store.evidence_for(method_ref, slot, target) if store else []
+            )
+            kind_table, state_table = self._evidence_tables(node, evidence)
+            self._write_evidence(slot, target, "kind", kind_table)
+            self._write_evidence(slot, target, "state", state_table)
+
+    def _write_evidence(self, slot, target, axis, table):
+        entry = self._evidence_slots.get((slot, target, axis))
+        if entry is None:
+            return
+        index, factor, variable = entry
+        if table is None:
+            table = variable.uniform()
+        if np.array_equal(factor.table, table):
+            return
+        factor.table = table
+        self._dirty_factors[index] = factor
+
+    def _evidence_tables(self, node, evidence):
+        """Aggregated (kind, state) evidence tables; None means no votes.
 
         Individual site marginals are combined by geometric mean — the
         *vote direction* of many call sites is preserved (167 ALIVE sites
@@ -206,13 +322,11 @@ class MethodModel:
         stays bounded, preventing runaway feedback across worklist
         iterations.
         """
+        kind_table = None
+        state_table = None
         kind_votes = [m.kind for m in evidence if m.kind is not None]
         if kind_votes:
-            variable = self.vars.kind(node)
-            table = self._geometric_mean(variable, kind_votes)
-            self.graph.add_factor(
-                Factor("ev/%s/%s/kind" % (slot, target), [variable], table)
-            )
+            kind_table = self._geometric_mean(self.vars.kind(node), kind_votes)
         state_votes = [m.state for m in evidence if m.state is not None]
         if state_votes:
             variable = self.vars.state(node)
@@ -223,14 +337,25 @@ class MethodModel:
                     if len(vote) == len(variable.domain)
                 ]
                 if state_votes:
-                    table = self._geometric_mean(variable, state_votes)
-                    self.graph.add_factor(
-                        Factor(
-                            "ev/%s/%s/state" % (slot, target),
-                            [variable],
-                            table,
-                        )
-                    )
+                    state_table = self._geometric_mean(variable, state_votes)
+        return kind_table, state_table
+
+    def _add_evidence_factor(self, node, evidence, slot, target):
+        """One aggregated evidence factor per boundary node (legacy
+        non-reserved path: factors exist only where evidence does)."""
+        kind_table, state_table = self._evidence_tables(node, evidence)
+        if kind_table is not None:
+            variable = self.vars.kind(node)
+            self.graph.add_factor(
+                Factor("ev/%s/%s/kind" % (slot, target), [variable], kind_table)
+            )
+        if state_table is not None:
+            variable = self.vars.state(node)
+            self.graph.add_factor(
+                Factor(
+                    "ev/%s/%s/state" % (slot, target), [variable], state_table
+                )
+            )
 
     @staticmethod
     def _geometric_mean(variable, votes):
@@ -245,14 +370,62 @@ class MethodModel:
 
     # -- solving ----------------------------------------------------------------------
 
-    def solve(self, max_iters=40, damping=0.1, tolerance=1e-6):
-        from repro.factorgraph.sumproduct import run_sum_product
+    def solve(self, max_iters=40, damping=0.1, tolerance=1e-6,
+              engine="compiled"):
+        """SOLVE: run BP over Φ_m with the selected engine.
 
-        return run_sum_product(
-            self.graph,
+        ``compiled`` (default) lowers the graph once into the flat-array
+        kernel and re-sweeps it, patching only the prior/evidence slots
+        mutated since the last solve; ``loopy`` runs the per-message
+        reference engine.  Both produce identical marginals.
+        """
+        if engine == "loopy":
+            from repro.factorgraph.sumproduct import run_sum_product
+
+            return run_sum_product(
+                self.graph,
+                max_iters=max_iters,
+                damping=damping,
+                tolerance=tolerance,
+            )
+        if engine != "compiled":
+            raise ValueError(
+                "unknown engine %r (expected one of %s)"
+                % (engine, ", ".join(ENGINES))
+            )
+        if self._compiled is None:
+            try:
+                self._compiled = CompiledGraph(self.graph)
+            except ValueError as exc:
+                warnings.warn(
+                    "compiled engine unavailable for %s (%s); using loopy"
+                    % (self.graph.name, exc),
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return self.solve(
+                    max_iters=max_iters,
+                    damping=damping,
+                    tolerance=tolerance,
+                    engine="loopy",
+                )
+            self._dirty_priors.clear()
+            self._dirty_factors.clear()
+        else:
+            for name in sorted(self._dirty_priors):
+                self._compiled.set_prior(
+                    name, self.graph.variables[name].prior
+                )
+            for index in sorted(self._dirty_factors):
+                self._compiled.set_table(
+                    index, self._dirty_factors[index].table
+                )
+            self._dirty_priors.clear()
+            self._dirty_factors.clear()
+        return self._compiled.run(
             max_iters=max_iters,
-            damping=damping,
             tolerance=tolerance,
+            damping=damping,
         )
 
     def boundary_marginals(self, result):
@@ -312,3 +485,124 @@ class MethodModel:
                         result, self.vars.kind(node), self.vars.state(node)
                     ),
                 )
+
+
+# ---------------------------------------------------------------------------
+# Incremental model reuse across worklist visits
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ModelVisit:
+    """What one worklist visit to a method's model actually did."""
+
+    model: object
+    result: object
+    #: True when constraint generation + graph construction ran.
+    built: bool
+    #: True when the input fingerprint matched and the solve was skipped
+    #: entirely (``result`` is the cached previous solve).
+    skipped: bool
+    build_seconds: float
+    solve_seconds: float
+
+    @property
+    def reused(self):
+        """Solved on a reused model (slot rewrites only, no rebuild)."""
+        return not self.built and not self.skipped
+
+
+class ModelCache:
+    """Caches built MethodModels (plus their compiled kernels) per method.
+
+    The paper's worklist revisits a method whenever its callee summaries
+    or incoming caller evidence change; everything else about the model
+    is visit-invariant.  The cache therefore:
+
+    * builds each method's model (and compiles its kernel) exactly once;
+    * on a revisit, fingerprints the store-derived inputs
+      (:func:`repro.core.summaries.method_input_fingerprint`) — if the
+      fingerprint is unchanged the previous solve is returned without
+      touching the graph at all;
+    * otherwise it ``refresh``\\ es the cached model (rewriting only the
+      mutated prior/evidence slots) and re-solves.
+
+    With ``reuse=False`` every visit builds a fresh model — the
+    pre-cache behaviour, kept for benchmarking and as a bisection aid.
+    """
+
+    def __init__(self, program, config, spec_env, engine="compiled",
+                 reuse=True):
+        self.program = program
+        self.config = config
+        self.spec_env = spec_env
+        self.engine = engine
+        self.reuse = reuse
+        self._entries = {}
+
+    def entry_count(self):
+        return len(self._entries)
+
+    def solve(self, method_ref, pfg, summary_store, settings):
+        """Run one worklist visit; returns a :class:`ModelVisit`."""
+        from repro.core.summaries import method_input_fingerprint
+
+        fingerprint = None
+        entry = None
+        if self.reuse:
+            fingerprint = method_input_fingerprint(
+                summary_store, self.spec_env, pfg
+            )
+            entry = self._entries.get(method_ref)
+            if (
+                entry is not None
+                and entry["result"] is not None
+                and entry["fingerprint"] == fingerprint
+            ):
+                return ModelVisit(
+                    model=entry["model"],
+                    result=entry["result"],
+                    built=False,
+                    skipped=True,
+                    build_seconds=0.0,
+                    solve_seconds=0.0,
+                )
+        built = entry is None
+        start = time.perf_counter()
+        if entry is None:
+            model = MethodModel(
+                self.program,
+                pfg,
+                self.config,
+                spec_env=self.spec_env,
+                summary_store=summary_store,
+            ).build(reserve_evidence_slots=self.reuse)
+            if self.reuse:
+                entry = self._entries[method_ref] = {
+                    "model": model,
+                    "fingerprint": None,
+                    "result": None,
+                }
+        else:
+            model = entry["model"]
+            model.refresh(summary_store)
+        build_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        result = model.solve(
+            max_iters=settings.bp_iters,
+            damping=settings.bp_damping,
+            tolerance=settings.bp_tolerance,
+            engine=self.engine,
+        )
+        solve_seconds = time.perf_counter() - start
+        if entry is not None:
+            entry["fingerprint"] = fingerprint
+            entry["result"] = result
+        return ModelVisit(
+            model=model,
+            result=result,
+            built=built,
+            skipped=False,
+            build_seconds=build_seconds,
+            solve_seconds=solve_seconds,
+        )

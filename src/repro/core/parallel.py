@@ -42,7 +42,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.analysis.callgraph import condensation_levels
-from repro.core.model import MethodModel
+from repro.core.model import ModelCache
 from repro.core.pfg_builder import build_pfg
 from repro.core.priors import SpecEnvironment
 from repro.core.summaries import (
@@ -81,23 +81,29 @@ class MethodSolveOutcome:
     key: str
     boundary: list  # [((slot, target), marginal payload), ...]
     deposits: list  # [(callee key, slot, target, site key, payload), ...]
+    #: Factors constructed by this visit: the model's factor count when a
+    #: build ran, else 0 — a reused model regenerates no constraints.
     factor_count: int
     constraint_counts: dict
+    built: bool = True
+    skipped: bool = False
+    build_seconds: float = 0.0
+    solve_seconds: float = 0.0
 
 
 def solve_method_to_outcome(
-    program, method_ref, key, pfg, config, settings, spec_env, store, key_of
+    program, method_ref, key, pfg, config, settings, spec_env, store, key_of,
+    models=None,
 ):
-    """Build + SOLVE one method's model; every executor funnels through
-    this single code path so floating-point behaviour cannot diverge."""
-    model = MethodModel(
-        program, pfg, config, spec_env=spec_env, summary_store=store
-    ).build()
-    result = model.solve(
-        max_iters=settings.bp_iters,
-        damping=settings.bp_damping,
-        tolerance=settings.bp_tolerance,
-    )
+    """SOLVE one method (via its cached model when ``models`` is given);
+    every executor funnels through this single code path so
+    floating-point behaviour cannot diverge."""
+    if models is None:
+        models = ModelCache(
+            program, config, spec_env, engine=settings.engine, reuse=False
+        )
+    visit = models.solve(method_ref, pfg, store, settings)
+    model, result = visit.model, visit.result
     boundary = [
         (slot_target, marginal.to_payload())
         for slot_target, marginal in model.boundary_marginals(result).items()
@@ -120,8 +126,12 @@ def solve_method_to_outcome(
         key=key,
         boundary=boundary,
         deposits=deposits,
-        factor_count=model.graph.factor_count,
-        constraint_counts=dict(model.generator.counts),
+        factor_count=model.graph.factor_count if visit.built else 0,
+        constraint_counts=dict(model.generator.counts) if visit.built else {},
+        built=visit.built,
+        skipped=visit.skipped,
+        build_seconds=visit.build_seconds,
+        solve_seconds=visit.solve_seconds,
     )
 
 
@@ -144,14 +154,26 @@ def _process_worker_init(blob):
     global _WORKER
     program, config, settings, pfgs_by_key = pickle.loads(blob)
     table = program.method_key_table()
+    spec_env = SpecEnvironment(program)
     _WORKER = {
         "program": program,
         "config": config,
         "settings": settings,
-        "spec_env": SpecEnvironment(program),
+        "spec_env": spec_env,
         "table": table,
         "key_of": {ref: key for key, ref in table.items()},
         "pfgs": pfgs_by_key,
+        # Worker-local model cache: a method re-solved by this worker in a
+        # later round reuses its built model.  Refreshes depend only on
+        # store *content*, so worker-local caches cannot change results —
+        # only how much build work each worker repeats.
+        "models": ModelCache(
+            program,
+            config,
+            spec_env,
+            engine=settings.engine,
+            reuse=settings.reuse_models,
+        ),
     }
 
 
@@ -176,6 +198,7 @@ def _process_solve_chunk(keys, store_payload):
                 state["spec_env"],
                 store,
                 state["key_of"],
+                models=state["models"],
             )
         )
     return outcomes
@@ -299,6 +322,7 @@ class LevelScheduler:
             self.inference.spec_env,
             store,
             self.key_of,
+            models=self.inference.models,
         )
 
     # -- backend construction --------------------------------------------------
@@ -410,11 +434,20 @@ class LevelScheduler:
             for slot_target, payload in outcome.boundary
         }
         self._results[ref] = boundary
-        stats.factors += outcome.factor_count
-        for rule, count in outcome.constraint_counts.items():
-            stats.constraint_counts[rule] = (
-                stats.constraint_counts.get(rule, 0) + count
-            )
+        if outcome.built:
+            # Constraint generation ran: count its factors exactly once.
+            stats.builds += 1
+            stats.factors += outcome.factor_count
+            for rule, count in outcome.constraint_counts.items():
+                stats.constraint_counts[rule] = (
+                    stats.constraint_counts.get(rule, 0) + count
+                )
+        elif outcome.skipped:
+            stats.skips += 1
+        else:
+            stats.reuses += 1
+        stats.build_seconds += outcome.build_seconds
+        stats.solve_seconds += outcome.solve_seconds
         own_changed = False
         for (slot, target), marginal in boundary.items():
             capped = clip_marginal(marginal, confidence)

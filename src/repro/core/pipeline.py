@@ -117,6 +117,16 @@ class AnekPipeline:
             stats.solves,
             stats.factors,
         )
+        detail += ", engine=%s (%d built, %d reused, %d skipped; " % (
+            stats.engine,
+            stats.builds,
+            stats.reuses,
+            stats.skips,
+        )
+        detail += "build %.3fs, kernel %.3fs)" % (
+            stats.build_seconds,
+            stats.solve_seconds,
+        )
         if stats.executor != "worklist":
             detail += ", executor=%s jobs=%d (%d levels, %d rounds)" % (
                 stats.executor,

@@ -104,6 +104,11 @@ class SummaryStore:
             self._summaries[method_ref] = MethodSummary(method_ref)
         return self._summaries[method_ref]
 
+    def peek(self, method_ref):
+        """Like :meth:`summary_of` but never creates an entry — safe for
+        read-only passes (fingerprinting) that must not mutate the store."""
+        return self._summaries.get(method_ref)
+
     def update(self, method_ref, slot, target, marginal):
         """UPDATESUMMARY: store and report whether it changed materially."""
         summary = self.summary_of(method_ref)
@@ -122,6 +127,39 @@ class SummaryStore:
     def evidence_for(self, callee, slot, target):
         """All deposited caller marginals for one boundary node."""
         return list(self._evidence.get((callee, slot, target), {}).values())
+
+    # -- fingerprint tokens (incremental model reuse) --------------------------
+
+    def summary_token(self, method_ref):
+        """An equality token of one method's current summary content.
+
+        Exact floats, emitted in the store's deterministic insertion
+        order; an empty or missing summary tokenizes to ``()`` (creating
+        an empty summary must not look like a change).
+        """
+        summary = self._summaries.get(method_ref)
+        if summary is None:
+            return ()
+        parts = []
+        for target, marginal in summary.pre.items():
+            parts.append(("pre", target, _marginal_token(marginal)))
+        for target, marginal in summary.post.items():
+            parts.append(("post", target, _marginal_token(marginal)))
+        if summary.result is not None:
+            parts.append(("result", "result", _marginal_token(summary.result)))
+        return tuple(parts)
+
+    def evidence_token(self, callee, slot, target):
+        """An equality token of one boundary node's evidence bucket,
+        including the per-site breakdown (vote order matters to the
+        geometric-mean aggregation)."""
+        bucket = self._evidence.get((callee, slot, target))
+        if not bucket:
+            return ()
+        return tuple(
+            (site_key, _marginal_token(marginal))
+            for site_key, marginal in bucket.items()
+        )
 
     def evidence_count(self):
         return sum(len(bucket) for bucket in self._evidence.values())
@@ -198,6 +236,49 @@ class SummaryStore:
             for site_key, marginal in bucket:
                 dest[site_key] = TargetMarginal.from_payload(marginal)
         return store
+
+
+def _dist_token(dist):
+    if dist is None:
+        return None
+    return tuple(dist.items())
+
+
+def _marginal_token(marginal):
+    if marginal is None:
+        return None
+    return (_dist_token(marginal.kind), _dist_token(marginal.state))
+
+
+def method_input_fingerprint(store, spec_env, pfg):
+    """Token of everything the store feeds into one method's model.
+
+    Covers the two mutable inputs of a built model — the summaries of
+    *unannotated* callees at each call site (APPLYSUMMARY priors) and
+    the evidence buckets on the method's own boundary nodes.  Annotated
+    callees and the method's own spec contribute static priors and are
+    deliberately excluded.  Equal fingerprints ⇒ a refresh would rewrite
+    nothing ⇒ the previous solve result is still exact, so the worklist
+    visit can skip the solve entirely.
+    """
+    sites = []
+    for site in pfg.call_sites:
+        callee = site["callee"]
+        if callee is None or spec_env.is_annotated(callee):
+            sites.append(None)
+        else:
+            sites.append(store.summary_token(callee))
+    evidence = []
+    method_ref = pfg.method_ref
+    slots = [("pre", target) for target in pfg.param_pre]
+    slots += [("post", target) for target in pfg.param_post]
+    if pfg.result_node is not None:
+        slots.append(("result", "result"))
+    for slot, target in slots:
+        evidence.append(
+            (slot, target, store.evidence_token(method_ref, slot, target))
+        )
+    return (tuple(sites), tuple(evidence))
 
 
 def marginal_from_result(result, kind_var, state_var):

@@ -10,10 +10,12 @@ citation [14]).
 * ``factors``    — table factors and soft-predicate factors (paper Eq. 6)
 * ``graph``      — the bipartite factor graph
 * ``sumproduct`` — loopy BP with damping and convergence detection
+* ``compiled``   — the same schedule lowered to flat-array sweeps (fast path)
 * ``exact``      — brute-force marginals for small graphs (testing)
 * ``compile``    — decomposition of wide constraints via auxiliary chains
 """
 
+from repro.factorgraph.compiled import CompiledGraph, compile_graph, run_compiled
 from repro.factorgraph.factors import Factor, predicate_factor, soft_equality
 from repro.factorgraph.graph import FactorGraph
 from repro.factorgraph.sumproduct import SumProductResult, run_sum_product
@@ -27,4 +29,7 @@ __all__ = [
     "FactorGraph",
     "run_sum_product",
     "SumProductResult",
+    "CompiledGraph",
+    "compile_graph",
+    "run_compiled",
 ]

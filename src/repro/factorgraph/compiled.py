@@ -1,0 +1,328 @@
+"""Compiled flat-array belief propagation.
+
+``CompiledGraph`` lowers a :class:`repro.factorgraph.graph.FactorGraph`
+once into contiguous numpy storage and then runs whole BP sweeps as a
+handful of vectorized array operations, replacing the per-message Python
+loop of :mod:`repro.factorgraph.sumproduct` on the hot path:
+
+* **variables** — one row per variable in a padded ``(V, D)`` prior
+  matrix, where ``D`` is the largest domain cardinality; columns past a
+  variable's cardinality hold zeros so row reductions ignore them;
+* **edges** — every (factor, variable) incidence becomes one row in two
+  padded message matrices (variable→factor and factor→variable).  The
+  factor→variable rows are interleaved with prior rows in one flat
+  ``(V_active + E, D)`` belief buffer laid out in CSR segments
+  ``[prior, msg, msg, …]`` per variable, so a single
+  ``np.multiply.reduceat`` reproduces the reference engine's
+  ``((prior · m₁) · m₂) · …`` product **in the exact same association
+  order** — compiled marginals match the loopy engine bit-for-bit, not
+  just within tolerance;
+* **factor tables** — stacked into one dense block per *shape group*
+  (factors sharing the same tuple of axis cardinalities), so a group's
+  entire factor→variable sweep is a single broadcasted
+  multiply-and-reduce over a ``(G, d0, …, dk−1)`` block.
+
+The sweep schedule, message normalization, damping blend, and
+convergence test replicate the reference engine operation-for-operation.
+Both phases of a sweep are Jacobi (writes never feed back within the
+phase), which is what makes the vectorization exact.
+
+For incremental reuse the kernel exposes ``set_prior`` and
+``set_table``: a cached method model rewrites just the prior rows and
+evidence-table slots that changed since the last worklist visit and
+re-sweeps, with no Python-side graph reconstruction.  All storage is
+plain numpy arrays and builtin containers, so a compiled kernel pickles
+cleanly across process-pool boundaries.
+"""
+
+import numpy as np
+
+from repro.factorgraph.factors import table_signature
+from repro.factorgraph.sumproduct import SumProductResult
+
+
+class CompiledGraph:
+    """One factor graph, lowered to flat arrays ready for BP sweeps."""
+
+    def __init__(self, graph):
+        names = list(graph.variables)
+        self.names = names
+        self.index_of = {name: position for position, name in enumerate(names)}
+        cards = np.array(
+            [graph.variables[name].cardinality for name in names], dtype=np.intp
+        )
+        self.cards = cards
+        count = len(names)
+        width = int(cards.max()) if count else 1
+        self.width = width
+
+        # Priors: padded (V, D); pad columns stay 0 so row sums are exact
+        # (x + 0.0 == x bitwise, so padding never perturbs a reduction).
+        self.priors = np.zeros((count, width))
+        for position, name in enumerate(names):
+            self.priors[position, : cards[position]] = graph.variables[name].prior
+
+        # Edges: one per (factor, axis), sorted by (variable, factor) so a
+        # variable's incident edges mirror the reference engine's
+        # adjacency order (factors in insertion order).
+        incidences = []  # (var index, factor index, axis)
+        for factor_index, factor in enumerate(graph.factors):
+            seen = set()
+            for axis, variable in enumerate(factor.variables):
+                if variable.name in seen:
+                    raise ValueError(
+                        "factor %r repeats variable %r; compiled BP requires "
+                        "distinct variables per factor"
+                        % (factor.name, variable.name)
+                    )
+                seen.add(variable.name)
+                incidences.append(
+                    (self.index_of[variable.name], factor_index, axis)
+                )
+        incidences.sort(key=lambda item: (item[0], item[1]))
+        edge_count = len(incidences)
+        self.edge_count = edge_count
+        self.edge_var = np.array(
+            [item[0] for item in incidences], dtype=np.intp
+        )
+        edge_of = {
+            (factor_index, axis): position
+            for position, (_, factor_index, axis) in enumerate(incidences)
+        }
+
+        degrees = np.zeros(count, dtype=np.intp)
+        for var_index, _, _ in incidences:
+            degrees[var_index] += 1
+        self.degrees = degrees
+        #: Variables that touch at least one factor (the rest keep their
+        #: prior as marginal, exactly like the reference engine).
+        self._active = np.flatnonzero(degrees > 0)
+        active_degrees = degrees[self._active]
+
+        # The flat belief buffer: per active variable one prior row
+        # followed by its factor→variable message rows, so reduceat over
+        # segment starts reproduces ((prior·m1)·m2)… left-to-right.
+        flat_rows = int(len(self._active) + edge_count)
+        self._flat = np.zeros((flat_rows, width))
+        self._prior_rows = np.zeros(len(self._active), dtype=np.intp)
+        self._msg_rows = np.zeros(edge_count, dtype=np.intp)
+        self._flat_starts = np.zeros(len(self._active), dtype=np.intp)
+        cursor = 0
+        edge_cursor = 0
+        for rank, var_index in enumerate(self._active):
+            self._flat_starts[rank] = cursor
+            self._prior_rows[rank] = cursor
+            cursor += 1
+            for _ in range(degrees[var_index]):
+                self._msg_rows[edge_cursor] = cursor
+                cursor += 1
+                edge_cursor += 1
+        self._active_degrees = active_degrees
+
+        # Per-edge uniform rows / pad masks for normalization fallbacks.
+        edge_cards = cards[self.edge_var]
+        columns = np.arange(width)
+        self._edge_pad = columns[np.newaxis, :] >= edge_cards[:, np.newaxis]
+        with np.errstate(divide="ignore"):
+            self._edge_uniform = np.where(
+                self._edge_pad, 0.0, 1.0 / edge_cards[:, np.newaxis]
+            ) if edge_count else np.zeros((0, width))
+            self._var_uniform = np.where(
+                columns[np.newaxis, :] >= cards[:, np.newaxis],
+                0.0,
+                1.0 / cards[:, np.newaxis],
+            ) if count else np.zeros((0, width))
+
+        # Factor groups: stack same-shape tables into one dense block.
+        grouped = {}
+        self._slot_of = {}  # factor index -> (shape, position in group)
+        for factor_index, factor in enumerate(graph.factors):
+            shape = table_signature(factor)
+            group = grouped.setdefault(
+                shape, {"factors": [], "edges": [[] for _ in shape]}
+            )
+            self._slot_of[factor_index] = (shape, len(group["factors"]))
+            group["factors"].append(factor_index)
+            for axis in range(len(shape)):
+                group["edges"][axis].append(edge_of[(factor_index, axis)])
+        self.groups = []
+        for shape, group in grouped.items():
+            edge_ids = [np.array(ids, dtype=np.intp) for ids in group["edges"]]
+            self.groups.append(
+                {
+                    "shape": shape,
+                    "tables": np.stack(
+                        [graph.factors[index].table for index in group["factors"]]
+                    ),
+                    "edges": edge_ids,
+                    "rows": [self._msg_rows[ids] for ids in edge_ids],
+                }
+            )
+        self._group_index = {
+            group["shape"]: position for position, group in enumerate(self.groups)
+        }
+        #: Largest message delta seen in each group's last sweep.
+        self.group_deltas = np.zeros(len(self.groups))
+
+        # Variable→factor message store (padded with zeros; factor-side
+        # gathers slice to each axis's true cardinality).
+        self._msg_vf = np.zeros((edge_count, width))
+
+    # -- incremental slot updates -------------------------------------------------
+
+    def set_prior(self, name, vector):
+        """Rewrite one variable's prior row (incremental model reuse)."""
+        position = self.index_of[name]
+        card = self.cards[position]
+        self.priors[position, :card] = vector
+        self.priors[position, card:] = 0.0
+
+    def set_table(self, factor_index, table):
+        """Rewrite one factor's table slot (evidence updates)."""
+        shape, position = self._slot_of[factor_index]
+        self.groups[self._group_index[shape]]["tables"][position] = table
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def variable_count(self):
+        return len(self.names)
+
+    def describe(self):
+        return "CompiledGraph(%d vars, %d edges, %d shape groups)" % (
+            len(self.names),
+            self.edge_count,
+            len(self.groups),
+        )
+
+    # -- the sweeps ---------------------------------------------------------------
+
+    @staticmethod
+    def _normalize_rows(rows, uniform):
+        """Row-normalize with the reference engine's degenerate fallback."""
+        totals = rows.sum(axis=1, keepdims=True)
+        bad = (totals <= 0) | ~np.isfinite(totals)
+        safe = np.where(bad, 1.0, totals)
+        return np.where(bad, uniform, rows / safe)
+
+    def _segment_products(self):
+        """Per-active-variable belief products prior·m1·m2·… — bitwise
+        identical to the reference engine's sequential accumulation."""
+        return np.multiply.reduceat(self._flat, self._flat_starts, axis=0)
+
+    def _variable_sweep(self):
+        """All variable→factor messages in one pass."""
+        if self.edge_count == 0:
+            return
+        full = self._segment_products()
+        per_edge = np.repeat(full, self._active_degrees, axis=0)
+        messages = self._flat[self._msg_rows]
+        outgoing = np.where(messages > 0, per_edge / messages, 0.0)
+        self._msg_vf[:] = self._normalize_rows(outgoing, self._edge_uniform)
+
+    def _factor_sweep(self, damping, semiring):
+        """All factor→variable messages, group by group; returns the
+        largest message delta (the convergence signal)."""
+        max_delta = 0.0
+        for position, group in enumerate(self.groups):
+            shape = group["shape"]
+            arity = len(shape)
+            tables = group["tables"]
+            count = tables.shape[0]
+            incoming = [
+                self._msg_vf[group["edges"][axis], : shape[axis]]
+                for axis in range(arity)
+            ]
+            group_delta = 0.0
+            for target in range(arity):
+                weighted = tables
+                for axis in range(arity):
+                    if axis == target:
+                        continue
+                    view = (count,) + tuple(
+                        shape[axis] if other == axis else 1
+                        for other in range(arity)
+                    )
+                    weighted = weighted * incoming[axis].reshape(view)
+                reduce_axes = tuple(
+                    1 + axis for axis in range(arity) if axis != target
+                )
+                if reduce_axes:
+                    if semiring == "max":
+                        message = weighted.max(axis=reduce_axes)
+                    else:
+                        message = weighted.sum(axis=reduce_axes)
+                else:
+                    message = weighted
+                card = shape[target]
+                uniform = np.full((1, card), 1.0 / card)
+                message = self._normalize_rows(message, uniform)
+                rows = group["rows"][target]
+                old = self._flat[rows, :card]
+                if damping > 0.0:
+                    message = self._normalize_rows(
+                        damping * old + (1.0 - damping) * message, uniform
+                    )
+                if message.size:
+                    delta = float(np.abs(message - old).max())
+                    if delta > group_delta:
+                        group_delta = delta
+                self._flat[rows, :card] = message
+            self.group_deltas[position] = group_delta
+            if group_delta > max_delta:
+                max_delta = group_delta
+        return max_delta
+
+    def _marginals(self):
+        beliefs = self.priors.copy()
+        if len(self._active):
+            beliefs[self._active] = self._segment_products()
+        beliefs = self._normalize_rows(beliefs, self._var_uniform)
+        return {
+            name: beliefs[position, : self.cards[position]].copy()
+            for position, name in enumerate(self.names)
+        }
+
+    def _reset_messages(self):
+        # Prior rows reflect the (possibly updated) prior matrix; message
+        # rows start uniform with pad columns at the multiplicative
+        # identity so full-row products ignore them.
+        if len(self._active):
+            self._flat[self._prior_rows] = self.priors[self._active]
+        if self.edge_count:
+            self._flat[self._msg_rows] = np.where(
+                self._edge_pad, 1.0, self._edge_uniform
+            )
+            np.copyto(self._msg_vf, self._edge_uniform)
+
+    def run(self, max_iters=50, tolerance=1e-6, damping=0.0, semiring="sum"):
+        """Run BP sweeps; returns a :class:`SumProductResult`."""
+        self._reset_messages()
+        iterations = 0
+        max_delta = np.inf
+        converged = False
+        with np.errstate(divide="ignore", invalid="ignore"):
+            for iterations in range(1, max_iters + 1):
+                self._variable_sweep()
+                max_delta = self._factor_sweep(damping, semiring)
+                if max_delta < tolerance:
+                    converged = True
+                    break
+            marginals = self._marginals()
+        return SumProductResult(marginals, iterations, converged, max_delta)
+
+
+def compile_graph(graph):
+    """Lower ``graph`` into a :class:`CompiledGraph` (one-time cost)."""
+    return CompiledGraph(graph)
+
+
+def run_compiled(graph, max_iters=50, tolerance=1e-6, damping=0.0,
+                 semiring="sum"):
+    """One-shot convenience: compile then run (matches ``run_sum_product``)."""
+    return compile_graph(graph).run(
+        max_iters=max_iters,
+        tolerance=tolerance,
+        damping=damping,
+        semiring=semiring,
+    )

@@ -85,6 +85,32 @@ class Factor:
         )
 
 
+def table_signature(factor):
+    """The factor's domain shape — the grouping key of the compiled
+    engine, which stacks all same-shape tables into one dense block so a
+    whole group's messages are computed by a single tensor contraction."""
+    return tuple(var.cardinality for var in factor.variables)
+
+
+def export_tables(factors):
+    """Group factor tables by :func:`table_signature`.
+
+    Returns ``{shape: (factor_indices, stacked_tables)}`` where
+    ``stacked_tables[i]`` is the table of ``factors[factor_indices[i]]``.
+    This is the flat layout the compiled BP kernel sweeps over.
+    """
+    grouped = {}
+    for index, factor in enumerate(factors):
+        grouped.setdefault(table_signature(factor), []).append(index)
+    return {
+        shape: (
+            tuple(indices),
+            np.stack([factors[index].table for index in indices]),
+        )
+        for shape, indices in grouped.items()
+    }
+
+
 #: Cache of predicate tables keyed by (predicate id, domains, h, axes).
 #: The same constraint shape recurs at every PFG edge of every method, so
 #: memoizing the table build is a large constant-factor win.

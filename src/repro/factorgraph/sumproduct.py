@@ -75,45 +75,47 @@ def run_sum_product(graph, max_iters=50, tolerance=1e-6, damping=0.0,
     iterations = 0
     max_delta = np.inf
     converged = False
-    errstate = np.errstate(divide="ignore", invalid="ignore")
-    errstate.__enter__()
-    for iterations in range(1, max_iters + 1):
-        max_delta = 0.0
-        # Variable -> factor messages first, so priors propagate in the
-        # very first sweep: compute the full belief product once per
-        # variable, then divide out each factor's own contribution.
-        for variable in variables:
-            indexed = neighbors_of[variable.name]
-            if not indexed:
-                continue
-            full = variable.prior.copy()
-            for factor_index in indexed:
-                full = full * factor_to_var[(factor_index, variable.name)]
-            for factor_index in indexed:
-                message = factor_to_var[(factor_index, variable.name)]
-                outgoing = np.where(message > 0, full / message, 0.0)
-                var_to_factor[(factor_index, variable.name)] = _normalize(outgoing)
-        # Factor -> variable messages.
-        for factor_index, factor in enumerate(factors):
-            incoming = {
-                variable.name: var_to_factor[(factor_index, variable.name)]
-                for variable in factor.variables
-            }
-            for variable in factor.variables:
-                message = _normalize(
-                    factor.message_to(variable, incoming, reduce=semiring)
-                )
-                old = factor_to_var[(factor_index, variable.name)]
-                if damping > 0.0:
-                    message = _normalize(damping * old + (1.0 - damping) * message)
-                delta = float(np.abs(message - old).max())
-                if delta > max_delta:
-                    max_delta = delta
-                factor_to_var[(factor_index, variable.name)] = message
-        if max_delta < tolerance:
-            converged = True
-            break
-    errstate.__exit__(None, None, None)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for iterations in range(1, max_iters + 1):
+            max_delta = 0.0
+            # Variable -> factor messages first, so priors propagate in the
+            # very first sweep: compute the full belief product once per
+            # variable, then divide out each factor's own contribution.
+            for variable in variables:
+                indexed = neighbors_of[variable.name]
+                if not indexed:
+                    continue
+                full = variable.prior.copy()
+                for factor_index in indexed:
+                    full = full * factor_to_var[(factor_index, variable.name)]
+                for factor_index in indexed:
+                    message = factor_to_var[(factor_index, variable.name)]
+                    outgoing = np.where(message > 0, full / message, 0.0)
+                    var_to_factor[(factor_index, variable.name)] = _normalize(
+                        outgoing
+                    )
+            # Factor -> variable messages.
+            for factor_index, factor in enumerate(factors):
+                incoming = {
+                    variable.name: var_to_factor[(factor_index, variable.name)]
+                    for variable in factor.variables
+                }
+                for variable in factor.variables:
+                    message = _normalize(
+                        factor.message_to(variable, incoming, reduce=semiring)
+                    )
+                    old = factor_to_var[(factor_index, variable.name)]
+                    if damping > 0.0:
+                        message = _normalize(
+                            damping * old + (1.0 - damping) * message
+                        )
+                    delta = float(np.abs(message - old).max())
+                    if delta > max_delta:
+                        max_delta = delta
+                    factor_to_var[(factor_index, variable.name)] = message
+            if max_delta < tolerance:
+                converged = True
+                break
 
     marginals = {}
     for variable in variables:

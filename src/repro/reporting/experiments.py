@@ -419,6 +419,8 @@ def table5_parallel(corpus_spec=None, jobs=0, settings=None, repeats=1):
             summary_change_threshold=base.summary_change_threshold,
             executor=executor,
             jobs=jobs,
+            engine=base.engine,
+            reuse_models=base.reuse_models,
         )
         best = None
         pipeline_result = None

@@ -73,14 +73,14 @@ CORPUS = {
 }
 
 
-def run_inference(sources, executor, jobs=2):
+def run_inference(sources, executor, jobs=2, engine="compiled"):
     """Run one executor over a fresh program; return comparable data."""
     program = resolve_program(
         [parse_compilation_unit(source) for source in sources]
     )
     inference = AnekInference(
         program,
-        settings=InferenceSettings(executor=executor, jobs=jobs),
+        settings=InferenceSettings(executor=executor, jobs=jobs, engine=engine),
     )
     marginals = inference.run()
     keyed = {}
@@ -178,6 +178,34 @@ class TestExecutorEquivalence:
             (entry["round"], entry["level"], entry["methods"])
             for entry in serial.schedule
         ]
+
+
+@pytest.mark.parametrize("name", sorted(CORPUS))
+class TestEngineDifferential:
+    """The compiled flat-array kernel against the loopy reference.
+
+    The executor fixtures above already run everything through the
+    compiled engine (the default); here the loopy engine solves the same
+    corpus and both the marginals and the thresholded specs must agree.
+    """
+
+    def test_loopy_matches_compiled_marginals(self, executor_runs, name):
+        compiled = executor_runs[name]["serial"]
+        loopy = run_inference(CORPUS[name], "serial", engine="loopy")
+        delta = max_marginal_delta(compiled["marginals"], loopy["marginals"])
+        assert delta <= TOLERANCE, (
+            "engines diverged on %s by %.3g" % (name, delta)
+        )
+        assert compiled["specs"] == loopy["specs"]
+
+    def test_worklist_engines_agree(self, name):
+        compiled = run_inference(CORPUS[name], "worklist")
+        loopy = run_inference(CORPUS[name], "worklist", engine="loopy")
+        delta = max_marginal_delta(compiled["marginals"], loopy["marginals"])
+        assert delta <= TOLERANCE
+        assert compiled["specs"] == loopy["specs"]
+        assert compiled["stats"].engine == "compiled"
+        assert loopy["stats"].engine == "loopy"
 
 
 class TestSchedulerProperties:

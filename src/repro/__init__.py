@@ -1,0 +1,7 @@
+"""Reproduction of "Probabilistic, modular and scalable inference of
+typestate specifications" (Beckman & Nori, PLDI 2011)."""
+
+#: Kept in sync with ``pyproject.toml``; baked into persistent cache keys
+#: (see :mod:`repro.cache`) so artifacts written by one build are never
+#: read by another.
+__version__ = "0.1.0"

@@ -186,6 +186,68 @@ def condensation_levels(graph, members, sort_key=None):
     return levels, len(components)
 
 
+def method_call_sites(program, caller_ref, lowered=None):
+    """Yield the :class:`CallSite`\\ s inside one method, in source order.
+
+    ``lowered`` optionally reuses existing lowering work.  Method calls
+    yield a site even when unresolved (``callee is None``); constructor
+    calls yield only when resolved — matching what
+    :func:`build_call_graph` has always recorded.
+    """
+    if lowered is None:
+        lowered = lower_method(
+            program, caller_ref.class_decl, caller_ref.method_decl
+        )
+    for instr in iter_instrs(lowered.body):
+        if isinstance(instr, ir.Assign) and isinstance(instr.source, ir.Call):
+            call = instr.source
+            callee = None
+            if call.static_class is not None:
+                callee = program.resolve_method(
+                    call.static_class, call.method_name, len(call.args)
+                )
+            yield CallSite(caller_ref, callee, call, instr.line)
+        elif isinstance(instr, ir.Assign) and isinstance(
+            instr.source, ir.NewObj
+        ):
+            callee = program.resolve_constructor(
+                instr.source.class_name, len(instr.source.args)
+            )
+            if callee is not None:
+                yield CallSite(caller_ref, callee, instr.source, instr.line)
+
+
+def method_call_targets(program, caller_ref, lowered=None):
+    """The resolved ``(callee_ref, line)`` pairs inside one method.
+
+    This is the picklable slice of :func:`method_call_sites` the
+    persistent cache stores per method: unresolved sites are dropped
+    (nothing downstream of the graph consumes them), refs later travel
+    as stable method keys.
+    """
+    return [
+        (site.callee, site.line)
+        for site in method_call_sites(program, caller_ref, lowered=lowered)
+        if site.callee is not None
+    ]
+
+
+def call_graph_from_targets(targets_by_method):
+    """Rebuild a :class:`CallGraph` from per-method resolved targets.
+
+    ``targets_by_method`` maps caller ref -> ``[(callee_ref, line), ...]``
+    in source order (the shape :func:`method_call_targets` produces and
+    the cache round-trips).  The reconstructed graph carries no IR call
+    objects, but caller/callee identities — all that inference and the
+    scheduler consume — match :func:`build_call_graph` exactly.
+    """
+    graph = CallGraph()
+    for caller_ref, targets in targets_by_method.items():
+        for callee_ref, line in targets:
+            graph.add(CallSite(caller_ref, callee_ref, None, line))
+    return graph
+
+
 def build_call_graph(program, lowered_methods=None):
     """Build the call graph.
 
@@ -194,27 +256,11 @@ def build_call_graph(program, lowered_methods=None):
     """
     graph = CallGraph()
     for caller_ref in program.methods_with_bodies():
+        lowered = None
         if lowered_methods is not None and caller_ref in lowered_methods:
             lowered = lowered_methods[caller_ref]
-        else:
-            lowered = lower_method(
-                program, caller_ref.class_decl, caller_ref.method_decl
-            )
-        for instr in iter_instrs(lowered.body):
-            if isinstance(instr, ir.Assign) and isinstance(instr.source, ir.Call):
-                call = instr.source
-                callee = None
-                if call.static_class is not None:
-                    callee = program.resolve_method(
-                        call.static_class, call.method_name, len(call.args)
-                    )
-                graph.add(CallSite(caller_ref, callee, call, instr.line))
-            elif isinstance(instr, ir.Assign) and isinstance(instr.source, ir.NewObj):
-                callee = program.resolve_constructor(
-                    instr.source.class_name, len(instr.source.args)
-                )
-                if callee is not None:
-                    graph.add(CallSite(caller_ref, callee, instr.source, instr.line))
+        for site in method_call_sites(program, caller_ref, lowered=lowered):
+            graph.add(site)
     return graph
 
 

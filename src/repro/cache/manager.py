@@ -1,0 +1,454 @@
+"""The persistent analysis cache: three content-addressed layers.
+
+Layer 1 — **parsed units**: raw source text → parsed compilation unit.
+Layer 2 — **frontend artifacts**: per-method PFGs (the input to
+constraint generation, whose factor graph is a deterministic function of
+the PFG + config) plus the method's resolved call targets, keyed by the
+method's *static fingerprint* — its own pretty-printed content plus the
+interface environment digest.
+Layer 3 — **solver artifacts**: (a) per-visit solve outcomes (boundary
+marginals + evidence deposits) keyed by static fingerprint × config ×
+the canonicalized summary/evidence input token, and (b) whole-run final
+results keyed by program × config × schedule kind.
+
+The bit-identity story: ANEK-INFER runs a *fixed-budget* (non-fixpoint)
+trajectory, so warm-starting it with converged summaries would change
+the trajectory and therefore the marginals.  Instead each worklist visit
+is treated as a pure function of its fingerprinted inputs and its
+*outcome* is replayed from the store — same trajectory, same floats, no
+BP sweep.  Invalidation is automatic and exact: any changed input
+changes the key, so a stale artifact is simply never addressed again.
+The manifest (a JSON summary of the last run's fingerprints) is purely
+advisory — it powers the invalidated/dirty-cone counters and nothing
+else.
+"""
+
+import warnings
+from dataclasses import dataclass, field, fields as dataclass_fields, replace
+
+import repro
+from repro.cache.fingerprints import (
+    SCHEMA_TAG,
+    canonical_input_token,
+    config_digest,
+    digest,
+    environment_digest,
+    method_digest,
+    program_digest,
+    source_digest,
+)
+from repro.cache.pfgser import pfg_from_payload, pfg_to_payload
+from repro.cache.store import ArtifactStore
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".anek-cache"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation counters, accumulated across pipeline stages."""
+
+    #: Layer 1: compilation units served from / missing in the store.
+    parse_hits: int = 0
+    parse_misses: int = 0
+    #: Layer 2: per-method PFG + call-target artifacts.
+    pfg_hits: int = 0
+    pfg_misses: int = 0
+    #: Layer 3a: per-visit solve outcomes replayed / solved cold.
+    solve_hits: int = 0
+    solve_misses: int = 0
+    #: Layer 3b: whole-run warm starts.
+    final_hits: int = 0
+    final_misses: int = 0
+    #: Entries that existed but failed to deserialize (treated as misses).
+    corrupt_entries: int = 0
+    #: Methods whose static fingerprint changed since the manifest run.
+    invalidated_methods: int = 0
+    #: Invalidated methods plus their transitive callers (SCC cone).
+    dirty_cone: int = 0
+    #: True when the config cannot be fingerprinted (custom heuristics).
+    uncacheable: bool = False
+
+    def hits(self):
+        return (
+            self.parse_hits + self.pfg_hits + self.solve_hits + self.final_hits
+        )
+
+    def misses(self):
+        return (
+            self.parse_misses
+            + self.pfg_misses
+            + self.solve_misses
+            + self.final_misses
+        )
+
+    def hit_ratio(self):
+        total = self.hits() + self.misses()
+        if total == 0:
+            return 0.0
+        return self.hits() / total
+
+    def delta(self, earlier):
+        """Counter movement since an ``earlier`` snapshot of this object."""
+        changes = {}
+        for f in dataclass_fields(self):
+            if f.name == "uncacheable":
+                continue
+            changes[f.name] = getattr(self, f.name) - getattr(earlier, f.name)
+        return replace(CacheStats(uncacheable=self.uncacheable), **changes)
+
+    def snapshot(self):
+        return replace(self)
+
+    def describe(self):
+        lines = ["analysis cache:"]
+        lines.append(
+            "  units   %5d hit %5d miss" % (self.parse_hits, self.parse_misses)
+        )
+        lines.append(
+            "  pfgs    %5d hit %5d miss" % (self.pfg_hits, self.pfg_misses)
+        )
+        lines.append(
+            "  solves  %5d hit %5d miss"
+            % (self.solve_hits, self.solve_misses)
+        )
+        lines.append(
+            "  final   %5d hit %5d miss" % (self.final_hits, self.final_misses)
+        )
+        lines.append(
+            "  invalidated %d method(s), dirty cone %d, corrupt %d, "
+            "hit ratio %.1f%%"
+            % (
+                self.invalidated_methods,
+                self.dirty_cone,
+                self.corrupt_entries,
+                100.0 * self.hit_ratio(),
+            )
+        )
+        if self.uncacheable:
+            lines.append("  (disabled: config is not fingerprintable)")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """A picklable description of a cache, for process-pool workers."""
+
+    cache_dir: str
+    schema_tag: str = SCHEMA_TAG
+
+
+class AnalysisCache:
+    """Entry point: owns the store, the stats, and layer 1 (parsing)."""
+
+    def __init__(self, cache_dir=DEFAULT_CACHE_DIR, schema_tag=SCHEMA_TAG):
+        self.cache_dir = cache_dir
+        self.schema_tag = schema_tag
+        self.store = ArtifactStore(cache_dir)
+        self.stats = CacheStats()
+
+    @classmethod
+    def from_spec(cls, spec):
+        return cls(cache_dir=spec.cache_dir, schema_tag=spec.schema_tag)
+
+    def spec(self):
+        return CacheSpec(cache_dir=self.cache_dir, schema_tag=self.schema_tag)
+
+    def key(self, layer, content):
+        """A full store key: schema tag + repro version + layer + content."""
+        return digest((self.schema_tag, repro.__version__, layer, content))
+
+    def load(self, key):
+        before = self.store.corrupt_count
+        payload = self.store.load(key)
+        self.stats.corrupt_entries += self.store.corrupt_count - before
+        return payload
+
+    # -- layer 1: parsing ------------------------------------------------------
+
+    def parse(self, source):
+        """Parse one source string, via the store when possible."""
+        from repro.java.parser import parse_compilation_unit
+
+        key = self.key("unit", source_digest(source))
+        unit = self.load(key)
+        if unit is not None:
+            self.stats.parse_hits += 1
+            return unit
+        self.stats.parse_misses += 1
+        unit = parse_compilation_unit(source)
+        self.store.save(key, unit)
+        return unit
+
+    # -- binding to one resolved program --------------------------------------
+
+    def bind(self, program, config, settings):
+        """A :class:`BoundCache` for one program/config, or None when the
+        config cannot be fingerprinted (persistent caching is then off
+        for this run; in-memory reuse is unaffected)."""
+        config_fp = config_digest(config, settings)
+        if config_fp is None:
+            if not self.stats.uncacheable:
+                warnings.warn(
+                    "persistent analysis cache disabled: custom heuristics "
+                    "have no canonical fingerprint",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            self.stats.uncacheable = True
+            return None
+        return BoundCache(self, program, config_fp)
+
+
+class BoundCache:
+    """Layers 2-3 for one resolved program under one fingerprinted config."""
+
+    def __init__(self, cache, program, config_fp):
+        self.cache = cache
+        self.stats = cache.stats
+        self.store = cache.store
+        self.program = program
+        self.config_fp = config_fp
+        self.table = program.method_key_table()
+        self.key_of = {ref: key for key, ref in self.table.items()}
+        self.env_fp = environment_digest(program)
+        self.program_fp = program_digest(program)
+        self._method_fps = {}
+        self._manifest = self.store.load_manifest()
+
+    def method_fingerprint(self, method_ref):
+        """The method's static fingerprint: own content × environment."""
+        fingerprint = self._method_fps.get(method_ref)
+        if fingerprint is None:
+            fingerprint = digest(
+                (self.key_of[method_ref], method_digest(method_ref), self.env_fp)
+            )
+            self._method_fps[method_ref] = fingerprint
+        return fingerprint
+
+    # -- layer 2: frontend artifacts (PFG + call targets) ----------------------
+
+    def load_frontend(self, method_ref):
+        """(pfg, [(callee_ref, line), ...]) from the store, or (None, None)."""
+        key = self.cache.key("pfg", self.method_fingerprint(method_ref))
+        payload = self.cache.load(key)
+        if payload is not None:
+            try:
+                pfg = pfg_from_payload(payload["pfg"], method_ref, self.table)
+                callees = [
+                    (self.table[callee_key], line)
+                    for callee_key, line in payload["callees"]
+                ]
+            except (KeyError, IndexError, TypeError):
+                self.stats.corrupt_entries += 1
+                payload = None
+            else:
+                self.stats.pfg_hits += 1
+                return pfg, callees
+        self.stats.pfg_misses += 1
+        return None, None
+
+    def store_frontend(self, method_ref, pfg, callees):
+        key = self.cache.key("pfg", self.method_fingerprint(method_ref))
+        self.store.save(
+            key,
+            {
+                "pfg": pfg_to_payload(pfg, self.key_of),
+                "callees": [
+                    (self.key_of[callee], line) for callee, line in callees
+                ],
+            },
+        )
+
+    # -- layer 3a: per-visit solve outcomes ------------------------------------
+
+    def solve_key(self, method_ref, input_token):
+        """The store key of one worklist visit's outcome."""
+        return self.cache.key(
+            "solve",
+            (
+                self.method_fingerprint(method_ref),
+                self.config_fp,
+                canonical_input_token(input_token, self.key_of),
+            ),
+        )
+
+    def load_solve(self, key):
+        """(boundary, deposits) with live refs/marginals, or None."""
+        from repro.core.summaries import TargetMarginal
+
+        payload = self.cache.load(key)
+        if payload is not None:
+            try:
+                boundary = {
+                    (slot, target): TargetMarginal.from_payload(part)
+                    for (slot, target), part in payload["boundary"]
+                }
+                deposits = [
+                    (
+                        self.table[callee_key],
+                        slot,
+                        target,
+                        (self.table[owner_key], site_index),
+                        TargetMarginal.from_payload(part),
+                    )
+                    for (
+                        callee_key,
+                        slot,
+                        target,
+                        (owner_key, site_index),
+                        part,
+                    ) in payload["deposits"]
+                ]
+            except (KeyError, ValueError, TypeError):
+                self.stats.corrupt_entries += 1
+            else:
+                self.stats.solve_hits += 1
+                return boundary, deposits
+        self.stats.solve_misses += 1
+        return None
+
+    def store_solve(self, key, boundary, deposits):
+        from repro.cache.fingerprints import canonical_site_key
+
+        payload = {
+            "boundary": [
+                (slot_target, marginal.to_payload())
+                for slot_target, marginal in boundary.items()
+            ],
+            "deposits": [
+                (
+                    self.key_of[callee],
+                    slot,
+                    target,
+                    canonical_site_key(site_key, self.key_of),
+                    marginal.to_payload(),
+                )
+                for callee, slot, target, site_key, marginal in deposits
+            ],
+        }
+        self.store.save(key, payload)
+
+    # -- layer 3b: whole-run final results -------------------------------------
+
+    def final_key(self, schedule_kind):
+        return self.cache.key(
+            "final", (self.program_fp, self.config_fp, schedule_kind)
+        )
+
+    def load_final(self, schedule_kind):
+        """(results, summary store payload) for a warm start, or None."""
+        from repro.core.summaries import TargetMarginal
+
+        payload = self.cache.load(self.final_key(schedule_kind))
+        if payload is not None:
+            try:
+                results = {}
+                for key, boundary in payload["results"]:
+                    results[self.table[key]] = {
+                        (slot, target): TargetMarginal.from_payload(part)
+                        for (slot, target), part in boundary
+                    }
+            except (KeyError, ValueError, TypeError):
+                self.stats.corrupt_entries += 1
+            else:
+                self.stats.final_hits += 1
+                return results, payload["store"]
+        self.stats.final_misses += 1
+        return None
+
+    def store_final(self, schedule_kind, results, summary_store):
+        from repro.cache.fingerprints import canonical_site_key
+
+        store_payload = summary_store.to_payload(self.key_of)
+        store_payload["evidence"] = [
+            (
+                header,
+                [
+                    (canonical_site_key(site_key, self.key_of), part)
+                    for site_key, part in bucket
+                ],
+            )
+            for header, bucket in store_payload["evidence"]
+        ]
+        payload = {
+            "results": [
+                (
+                    self.key_of[method_ref],
+                    [
+                        (slot_target, marginal.to_payload())
+                        for slot_target, marginal in boundary.items()
+                    ],
+                )
+                for method_ref, boundary in results.items()
+            ],
+            "store": store_payload,
+        }
+        self.store.save(self.final_key(schedule_kind), payload)
+
+    # -- the manifest: invalidation accounting + dirty cone --------------------
+
+    def record_invalidation(self, call_graph, methods):
+        """Diff the manifest against current fingerprints.
+
+        Sets ``invalidated_methods`` (methods whose static fingerprint
+        changed since the manifest run) and ``dirty_cone`` (those plus
+        their transitive callers, via SCC condensation — exactly the set
+        a warm re-run must re-solve).  Purely advisory: artifact reuse is
+        content-addressed and needs no diffing.  Returns the cone.
+        """
+        from repro.analysis.callgraph import (
+            dependency_edges,
+            strongly_connected_components,
+        )
+
+        manifest = self._manifest
+        if (
+            manifest is None
+            or manifest.get("schema") != self.cache.schema_tag
+            or manifest.get("config") != self.config_fp
+        ):
+            return None
+        recorded = manifest.get("methods", {})
+        changed = set()
+        for method_ref in methods:
+            key = self.key_of[method_ref]
+            if recorded.get(key) != self.method_fingerprint(method_ref):
+                changed.add(method_ref)
+        self.stats.invalidated_methods = len(changed)
+        edges = dependency_edges(call_graph, methods)
+        components = strongly_connected_components(edges)
+        component_of = {}
+        for component in components:
+            for member in component:
+                component_of[member] = id(component)
+        dirty_components = set()
+        cone = set()
+        # Tarjan emits callees before callers, so one forward pass sees
+        # every callee component's dirtiness before its callers'.
+        for component in components:
+            dirty = any(member in changed for member in component) or any(
+                component_of[callee] in dirty_components
+                for member in component
+                for callee in edges[member]
+            )
+            if dirty:
+                dirty_components.add(id(component))
+                cone.update(component)
+        self.stats.dirty_cone = len(cone)
+        return cone
+
+    def save_manifest(self, methods):
+        self.store.save_manifest(
+            {
+                "schema": self.cache.schema_tag,
+                "version": repro.__version__,
+                "config": self.config_fp,
+                "environment": self.env_fp,
+                "program": self.program_fp,
+                "methods": {
+                    self.key_of[method_ref]: self.method_fingerprint(method_ref)
+                    for method_ref in methods
+                },
+            }
+        )

@@ -1,0 +1,107 @@
+"""PFG (de)serialization for the persistent cache.
+
+A PFG references live AST objects through its ``MethodRef``\\ s (its own
+method and every resolved callee), which hash by identity and therefore
+cannot be stored directly.  The payload replaces every MethodRef with
+its stable string key (:func:`repro.java.symbols.method_key`) and every
+node reference with its node id; loading re-attaches the keys to the
+*current* program's refs via ``program.method_key_table()``.  A payload
+whose keys no longer resolve (the program changed shape under a stale
+entry) raises ``KeyError``, which the cache manager treats as a miss.
+"""
+
+from repro.core.pfg import PFG
+
+
+def pfg_to_payload(pfg, key_of):
+    """Flatten a PFG into plain picklable data, MethodRefs as keys."""
+    nodes = [
+        (
+            node.kind,
+            node.label,
+            node.class_name,
+            key_of[node.callee] if node.callee is not None else None,
+            node.target,
+            node.line,
+            tuple(sorted(node.hints)),
+        )
+        for node in pfg.nodes
+    ]
+    edges = [
+        (edge.src.node_id, edge.dst.node_id, edge.role) for edge in pfg.edges
+    ]
+    call_sites = [
+        (
+            key_of[site["callee"]] if site["callee"] is not None else None,
+            [(target, node.node_id) for target, node in site["pre"].items()],
+            [(target, node.node_id) for target, node in site["post"].items()],
+            site["result"].node_id if site["result"] is not None else None,
+            site["line"],
+            site["method_name"],
+        )
+        for site in pfg.call_sites
+    ]
+    return {
+        "nodes": nodes,
+        "edges": edges,
+        "param_pre": [
+            (target, node.node_id) for target, node in pfg.param_pre.items()
+        ],
+        "param_post": [
+            (target, node.node_id) for target, node in pfg.param_post.items()
+        ],
+        "result": (
+            pfg.result_node.node_id if pfg.result_node is not None else None
+        ),
+        "field_store_receivers": [
+            (store.node_id, receiver.node_id)
+            for store, receiver in pfg.field_store_receivers
+        ],
+        "call_sites": call_sites,
+    }
+
+
+def pfg_from_payload(payload, method_ref, table):
+    """Rebuild a PFG around the current program's AST objects."""
+    pfg = PFG(method_ref)
+    for kind, label, class_name, callee_key, target, line, hints in payload[
+        "nodes"
+    ]:
+        node = pfg.new_node(
+            kind,
+            label,
+            class_name=class_name,
+            callee=table[callee_key] if callee_key is not None else None,
+            target=target,
+            line=line,
+        )
+        node.hints.update(hints)
+    nodes = pfg.nodes
+    for src, dst, role in payload["edges"]:
+        pfg.new_edge(nodes[src], nodes[dst], role=role)
+    pfg.param_pre = {
+        target: nodes[node_id] for target, node_id in payload["param_pre"]
+    }
+    pfg.param_post = {
+        target: nodes[node_id] for target, node_id in payload["param_post"]
+    }
+    if payload["result"] is not None:
+        pfg.result_node = nodes[payload["result"]]
+    pfg.field_store_receivers = [
+        (nodes[store], nodes[receiver])
+        for store, receiver in payload["field_store_receivers"]
+    ]
+    for callee_key, pre, post, result, line, method_name in payload[
+        "call_sites"
+    ]:
+        pfg.call_sites.append(
+            {
+                "callee": table[callee_key] if callee_key is not None else None,
+                "pre": {target: nodes[node_id] for target, node_id in pre},
+                "post": {target: nodes[node_id] for target, node_id in post},
+                "result": nodes[result] if result is not None else None,
+                "line": line,
+                "method_name": method_name,
+            }
+        )
+    return pfg

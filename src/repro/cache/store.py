@@ -1,0 +1,124 @@
+"""On-disk content-addressed artifact store.
+
+Artifacts live under ``<root>/objects/<kk>/<key>.pkl`` (two-level fanout
+by key prefix); the advisory manifest is human-readable JSON at
+``<root>/manifest.json``.  Two durability rules:
+
+* **writes are atomic** — payloads are pickled into a temp file in the
+  destination directory and ``os.replace``\\ d into place, so a reader
+  (including a concurrent process-pool worker) never observes a torn
+  artifact;
+* **reads never crash the analysis** — a corrupted, truncated, or
+  unreadable entry is logged with a warning, deleted when possible, and
+  reported as a miss, so the pipeline falls back to a cold build.
+"""
+
+import json
+import os
+import pickle
+import tempfile
+import warnings
+
+
+class ArtifactStore:
+    """Pickle-per-key persistence with corruption fallback."""
+
+    def __init__(self, root):
+        self.root = root
+        #: Entries that existed but could not be deserialized.
+        self.corrupt_count = 0
+        self._write_disabled = False
+
+    # -- keyed artifacts ------------------------------------------------------
+
+    def _path(self, key):
+        return os.path.join(self.root, "objects", key[:2], key + ".pkl")
+
+    def load(self, key):
+        """The stored payload, or None on miss *or* corruption."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception as exc:
+            self.corrupt_count += 1
+            warnings.warn(
+                "discarding corrupt cache entry %s (%s: %s); "
+                "falling back to a cold build"
+                % (path, type(exc).__name__, exc),
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+
+    def save(self, key, payload):
+        """Atomically persist one payload; failures disable further writes."""
+        if self._write_disabled:
+            return
+        path = self._path(key)
+        if os.path.exists(path):
+            return
+        self._atomic_write(
+            path, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+
+    # -- the manifest ---------------------------------------------------------
+
+    def manifest_path(self):
+        return os.path.join(self.root, "manifest.json")
+
+    def load_manifest(self):
+        """The advisory manifest dict, or None when absent/corrupt."""
+        try:
+            with open(self.manifest_path(), "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception as exc:
+            self.corrupt_count += 1
+            warnings.warn(
+                "discarding corrupt cache manifest (%s: %s)"
+                % (type(exc).__name__, exc),
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+
+    def save_manifest(self, manifest):
+        if self._write_disabled:
+            return
+        data = json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        self._atomic_write(self.manifest_path(), data.encode("utf-8"))
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _atomic_write(self, path, data):
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            handle, temp_path = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(handle, "wb") as stream:
+                    stream.write(data)
+                os.replace(temp_path, path)
+            except BaseException:
+                try:
+                    os.remove(temp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            self._write_disabled = True
+            warnings.warn(
+                "analysis cache is not writable (%s: %s); continuing "
+                "without persisting artifacts" % (type(exc).__name__, exc),
+                RuntimeWarning,
+                stacklevel=2,
+            )

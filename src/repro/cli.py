@@ -8,12 +8,15 @@
 
 ``infer`` and ``check`` accept ``--api`` to prepend the annotated
 Iterator API (on by default) and ``--threshold``/``--max-iters`` to tune
-extraction and the worklist.
+extraction and the worklist.  ``infer`` keeps a persistent analysis
+cache in ``.anek-cache/`` (``--cache-dir`` to move it, ``--no-cache`` to
+disable, ``--cache-stats`` to print hit/miss counters).
 """
 
 import argparse
 import sys
 
+from repro.cache import DEFAULT_CACHE_DIR
 from repro.core import AnekPipeline, InferenceSettings
 from repro.corpus.iterator_api import ITERATOR_API_SOURCE
 from repro.java.parser import parse_compilation_unit
@@ -48,9 +51,17 @@ def cmd_infer(args, out):
         jobs=jobs,
         engine=args.engine,
     )
-    pipeline = AnekPipeline(settings=settings)
+    cache = None
+    if args.use_cache:
+        from repro.cache import AnalysisCache
+
+        cache = AnalysisCache(cache_dir=args.cache_dir)
+    pipeline = AnekPipeline(settings=settings, cache=cache)
     result = pipeline.run_on_sources(_read_sources(args.files, args.api))
     print(result.describe_stages(), file=out)
+    if args.cache_stats and cache is not None:
+        print("", file=out)
+        print(cache.stats.describe(), file=out)
     print("", file=out)
     print("Inferred specifications:", file=out)
     for ref, spec in sorted(
@@ -230,6 +241,13 @@ def build_parser():
                             "(default) or the per-message loopy reference")
     infer.add_argument("--emit-source", action="store_true",
                        help="print the annotated sources")
+    infer.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                       help="persistent analysis cache directory "
+                            "(default: %(default)s)")
+    infer.add_argument("--no-cache", dest="use_cache", action="store_false",
+                       help="disable the persistent analysis cache")
+    infer.add_argument("--cache-stats", action="store_true",
+                       help="print cache hit/miss/invalidation counters")
     infer.set_defaults(run=cmd_infer)
 
     check = sub.add_parser("check", help="run the PLURAL checker")

@@ -22,7 +22,11 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 
-from repro.analysis.callgraph import build_call_graph
+from repro.analysis.callgraph import (
+    build_call_graph,
+    call_graph_from_targets,
+    method_call_targets,
+)
 from repro.core.heuristics import HeuristicConfig
 from repro.core.model import ENGINES, ModelCache
 from repro.core.parallel import EXECUTORS
@@ -97,6 +101,11 @@ class InferenceStats:
     builds: int = 0
     reuses: int = 0
     skips: int = 0
+    #: Visits replayed from the persistent cache (no build, no BP sweep).
+    replays: int = 0
+    #: True when the whole run was restored from the persistent cache
+    #: (program/config unchanged — zero worklist visits).
+    warm_start: bool = False
     #: Time split: model construction + slot refresh vs BP kernel time.
     build_seconds: float = 0.0
     solve_seconds: float = 0.0
@@ -115,7 +124,7 @@ class InferenceStats:
 class AnekInference:
     """The ANEK-INFER procedure over a resolved program."""
 
-    def __init__(self, program, config=None, settings=None):
+    def __init__(self, program, config=None, settings=None, cache=None):
         self.program = program
         self.config = config or HeuristicConfig()
         self.settings = settings or InferenceSettings()
@@ -125,12 +134,20 @@ class AnekInference:
         )
         self.pfgs = {}
         self.stats = InferenceStats(engine=self.settings.engine)
+        #: The persistent cache, bound to this program/config — None when
+        #: caching is off or the config is not fingerprintable.
+        self.cache = (
+            cache.bind(program, self.config, self.settings)
+            if cache is not None
+            else None
+        )
         self.models = ModelCache(
             program,
             self.config,
             self.spec_env,
             engine=self.settings.engine,
             reuse=self.settings.reuse_models,
+            cache=self.cache,
         )
         self.call_graph = None
         self.method_set = set()
@@ -142,12 +159,32 @@ class AnekInference:
         methods = list(self.program.methods_with_bodies())
         self.stats.methods = len(methods)
         self.method_set = set(methods)
+        cached_callees = None
         if build_pfgs:
+            if self.cache is not None:
+                cached_callees = {}
             for method_ref in methods:
-                pfg = build_pfg(self.program, method_ref)
+                pfg = None
+                if cached_callees is not None:
+                    pfg, callees = self.cache.load_frontend(method_ref)
+                    if pfg is None:
+                        pfg = build_pfg(self.program, method_ref)
+                        callees = method_call_targets(self.program, method_ref)
+                        self.cache.store_frontend(method_ref, pfg, callees)
+                    cached_callees[method_ref] = callees
+                else:
+                    pfg = build_pfg(self.program, method_ref)
                 self.pfgs[method_ref] = pfg
                 self.stats.pfg_nodes += pfg.node_count()
-        self.call_graph = build_call_graph(self.program)
+        if cached_callees is not None:
+            # The call graph is reconstructed from the per-method callee
+            # lists — skipping every lowering — and matches what
+            # build_call_graph would produce for inference's purposes
+            # (caller/callee identities in source order).
+            self.call_graph = call_graph_from_targets(cached_callees)
+            self.cache.record_invalidation(self.call_graph, methods)
+        else:
+            self.call_graph = build_call_graph(self.program)
         for method_ref in methods:
             self._callers_of[method_ref] = [
                 caller
@@ -160,11 +197,17 @@ class AnekInference:
 
     def run(self):
         """Run inference; returns {method_ref: boundary marginals dict}."""
+        start = time.perf_counter()
+        restored = self._restore_final()
+        if restored is not None:
+            self.stats.elapsed_seconds = time.perf_counter() - start
+            return restored
         if self.settings.executor != "worklist":
             from repro.core.parallel import run_scheduled
 
-            return run_scheduled(self)
-        start = time.perf_counter()
+            results = run_scheduled(self)
+            self._persist_final(results)
+            return results
         methods = self._initialize()
         worklist = deque(methods)
         queued = set(methods)
@@ -182,29 +225,67 @@ class AnekInference:
                     worklist.append(dependent)
         self.stats.solves = count
         self.stats.elapsed_seconds = time.perf_counter() - start
+        self._persist_final(results)
         return results
+
+    def _schedule_kind(self):
+        """Distinguishes final-result artifacts: the worklist and the
+        level-synchronous scheduler run legitimately different (each
+        deterministic) trajectories, so their results never alias."""
+        return (
+            "worklist" if self.settings.executor == "worklist" else "scheduled"
+        )
+
+    def _restore_final(self):
+        """Warm start: the whole run restored from the persistent cache.
+
+        Valid only when program, config, settings, and schedule kind all
+        fingerprint-match a completed earlier run — then the stored
+        results *are* what this run would compute, visit by visit."""
+        if self.cache is None:
+            return None
+        stored = self.cache.load_final(self._schedule_kind())
+        if stored is None:
+            return None
+        results, store_payload = stored
+        self.summaries = SummaryStore.from_payload(
+            store_payload, self.cache.table
+        )
+        self.stats.methods = len(
+            list(self.program.methods_with_bodies())
+        )
+        self.stats.executor = self.settings.executor
+        self.stats.warm_start = True
+        return results
+
+    def _persist_final(self, results):
+        if self.cache is None:
+            return
+        self.cache.store_final(self._schedule_kind(), results, self.summaries)
+        self.cache.save_manifest(list(self.method_set))
 
     def _solve_one(self, method_ref, results):
         """SOLVE one method (building or reusing its cached model);
         returns methods to re-enqueue."""
         pfg = self.pfgs[method_ref]
         visit = self.models.solve(method_ref, pfg, self.summaries, self.settings)
-        model, result = visit.model, visit.result
         if visit.built:
             # Constraint generation ran: count its factors exactly once.
             self.stats.builds += 1
-            self.stats.factors += model.graph.factor_count
-            for rule, count in model.generator.counts.items():
+            self.stats.factors += visit.factor_count
+            for rule, count in visit.constraint_counts.items():
                 self.stats.constraint_counts[rule] = (
                     self.stats.constraint_counts.get(rule, 0) + count
                 )
         elif visit.skipped:
             self.stats.skips += 1
+        elif visit.replayed:
+            self.stats.replays += 1
         else:
             self.stats.reuses += 1
         self.stats.build_seconds += visit.build_seconds
         self.stats.solve_seconds += visit.solve_seconds
-        boundary = model.boundary_marginals(result)
+        boundary = visit.boundary
         results[method_ref] = boundary
         to_enqueue = []
         # UPDATESUMMARY: store our own boundary marginals.
@@ -219,9 +300,7 @@ class AnekInference:
         # Deposit demand evidence into unannotated callees.  Precondition
         # kind evidence is satisfaction-transformed: callers veto only
         # requirements they could not meet.
-        for callee, slot, target, site_key, marginal in model.callsite_marginals(
-            result
-        ):
+        for callee, slot, target, site_key, marginal in visit.deposits:
             if slot == "pre":
                 marginal = satisfaction_evidence(marginal)
             capped = clip_marginal(marginal, self.config.summary_confidence)

@@ -20,7 +20,7 @@ inference engines.
 
 import time
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -494,7 +494,14 @@ class MethodModel:
 
 @dataclass
 class ModelVisit:
-    """What one worklist visit to a method's model actually did."""
+    """What one worklist visit to a method's model actually did.
+
+    Every consumer reads the visit's ``boundary`` marginals and
+    ``deposits`` rather than touching the model/result directly, so a
+    visit *replayed* from the persistent cache (``model`` and ``result``
+    are then None — no graph was ever materialized) is indistinguishable
+    downstream from a solved one.
+    """
 
     model: object
     result: object
@@ -505,11 +512,23 @@ class ModelVisit:
     skipped: bool
     build_seconds: float
     solve_seconds: float
+    #: {(slot, target): TargetMarginal} for this method's boundary nodes.
+    boundary: dict = field(default_factory=dict)
+    #: [(callee, slot, target, site_key, TargetMarginal), ...] demand
+    #: evidence for unannotated callees.
+    deposits: list = field(default_factory=list)
+    #: True when the outcome came from the persistent cache — no build,
+    #: no refresh, no BP sweep.
+    replayed: bool = False
+    #: Factors constructed by this visit (0 unless ``built``).
+    factor_count: int = 0
+    #: Constraint-rule counts of this visit's build (empty unless built).
+    constraint_counts: dict = field(default_factory=dict)
 
     @property
     def reused(self):
         """Solved on a reused model (slot rewrites only, no rebuild)."""
-        return not self.built and not self.skipped
+        return not self.built and not self.skipped and not self.replayed
 
 
 class ModelCache:
@@ -529,15 +548,24 @@ class ModelCache:
 
     With ``reuse=False`` every visit builds a fresh model — the
     pre-cache behaviour, kept for benchmarking and as a bisection aid.
+
+    A bound persistent cache (``cache``, see
+    :class:`repro.cache.manager.BoundCache`) adds a third tier: before
+    solving, the visit's input fingerprint addresses a stored outcome
+    from an earlier run — on a hit the boundary marginals and deposits
+    are *replayed* without building or sweeping anything, and because
+    each visit is a pure function of its fingerprinted inputs, a
+    replayed trajectory is bit-identical to a solved one.
     """
 
     def __init__(self, program, config, spec_env, engine="compiled",
-                 reuse=True):
+                 reuse=True, cache=None):
         self.program = program
         self.config = config
         self.spec_env = spec_env
         self.engine = engine
         self.reuse = reuse
+        self.cache = cache
         self._entries = {}
 
     def entry_count(self):
@@ -549,14 +577,15 @@ class ModelCache:
 
         fingerprint = None
         entry = None
-        if self.reuse:
+        if self.reuse or self.cache is not None:
             fingerprint = method_input_fingerprint(
                 summary_store, self.spec_env, pfg
             )
+        if self.reuse:
             entry = self._entries.get(method_ref)
             if (
                 entry is not None
-                and entry["result"] is not None
+                and entry["boundary"] is not None
                 and entry["fingerprint"] == fingerprint
             ):
                 return ModelVisit(
@@ -566,10 +595,44 @@ class ModelCache:
                     skipped=True,
                     build_seconds=0.0,
                     solve_seconds=0.0,
+                    boundary=entry["boundary"],
+                    deposits=entry["deposits"],
                 )
-        built = entry is None
+        solve_key = None
+        if self.cache is not None:
+            solve_key = self.cache.solve_key(method_ref, fingerprint)
+            stored = self.cache.load_solve(solve_key)
+            if stored is not None:
+                boundary, deposits = stored
+                if entry is not None:
+                    # Keep the built model for later refreshes, but mark
+                    # the in-memory result stale: it predates this input.
+                    entry["fingerprint"] = fingerprint
+                    entry["result"] = None
+                    entry["boundary"] = boundary
+                    entry["deposits"] = deposits
+                elif self.reuse:
+                    self._entries[method_ref] = {
+                        "model": None,
+                        "fingerprint": fingerprint,
+                        "result": None,
+                        "boundary": boundary,
+                        "deposits": deposits,
+                    }
+                return ModelVisit(
+                    model=None,
+                    result=None,
+                    built=False,
+                    skipped=False,
+                    build_seconds=0.0,
+                    solve_seconds=0.0,
+                    boundary=boundary,
+                    deposits=deposits,
+                    replayed=True,
+                )
+        built = entry is None or entry["model"] is None
         start = time.perf_counter()
-        if entry is None:
+        if built:
             model = MethodModel(
                 self.program,
                 pfg,
@@ -578,11 +641,16 @@ class ModelCache:
                 summary_store=summary_store,
             ).build(reserve_evidence_slots=self.reuse)
             if self.reuse:
-                entry = self._entries[method_ref] = {
-                    "model": model,
-                    "fingerprint": None,
-                    "result": None,
-                }
+                if entry is None:
+                    entry = self._entries[method_ref] = {
+                        "model": model,
+                        "fingerprint": None,
+                        "result": None,
+                        "boundary": None,
+                        "deposits": None,
+                    }
+                else:
+                    entry["model"] = model
         else:
             model = entry["model"]
             model.refresh(summary_store)
@@ -595,9 +663,15 @@ class ModelCache:
             engine=self.engine,
         )
         solve_seconds = time.perf_counter() - start
+        boundary = model.boundary_marginals(result)
+        deposits = list(model.callsite_marginals(result))
         if entry is not None:
             entry["fingerprint"] = fingerprint
             entry["result"] = result
+            entry["boundary"] = boundary
+            entry["deposits"] = deposits
+        if solve_key is not None:
+            self.cache.store_solve(solve_key, boundary, deposits)
         return ModelVisit(
             model=model,
             result=result,
@@ -605,4 +679,8 @@ class ModelCache:
             skipped=False,
             build_seconds=build_seconds,
             solve_seconds=solve_seconds,
+            boundary=boundary,
+            deposits=deposits,
+            factor_count=model.graph.factor_count if built else 0,
+            constraint_counts=dict(model.generator.counts) if built else {},
         )

@@ -87,6 +87,8 @@ class MethodSolveOutcome:
     constraint_counts: dict
     built: bool = True
     skipped: bool = False
+    #: True when the outcome was replayed from the persistent cache.
+    replayed: bool = False
     build_seconds: float = 0.0
     solve_seconds: float = 0.0
 
@@ -103,15 +105,12 @@ def solve_method_to_outcome(
             program, config, spec_env, engine=settings.engine, reuse=False
         )
     visit = models.solve(method_ref, pfg, store, settings)
-    model, result = visit.model, visit.result
     boundary = [
         (slot_target, marginal.to_payload())
-        for slot_target, marginal in model.boundary_marginals(result).items()
+        for slot_target, marginal in visit.boundary.items()
     ]
     deposits = []
-    for callee, slot, target, site_key, marginal in model.callsite_marginals(
-        result
-    ):
+    for callee, slot, target, site_key, marginal in visit.deposits:
         caller_ref, site_index = site_key
         deposits.append(
             (
@@ -126,10 +125,11 @@ def solve_method_to_outcome(
         key=key,
         boundary=boundary,
         deposits=deposits,
-        factor_count=model.graph.factor_count if visit.built else 0,
-        constraint_counts=dict(model.generator.counts) if visit.built else {},
+        factor_count=visit.factor_count,
+        constraint_counts=visit.constraint_counts,
         built=visit.built,
         skipped=visit.skipped,
+        replayed=visit.replayed,
         build_seconds=visit.build_seconds,
         solve_seconds=visit.solve_seconds,
     )
@@ -152,9 +152,18 @@ def _process_worker_init(blob):
     unpickled AST objects as the worker's program copy.
     """
     global _WORKER
-    program, config, settings, pfgs_by_key = pickle.loads(blob)
+    program, config, settings, pfgs_by_key, cache_spec = pickle.loads(blob)
     table = program.method_key_table()
     spec_env = SpecEnvironment(program)
+    bound_cache = None
+    if cache_spec is not None:
+        # Each worker re-opens the store from its picklable spec; writes
+        # are atomic renames, so concurrent workers never tear entries.
+        from repro.cache.manager import AnalysisCache
+
+        bound_cache = AnalysisCache.from_spec(cache_spec).bind(
+            program, config, settings
+        )
     _WORKER = {
         "program": program,
         "config": config,
@@ -173,6 +182,7 @@ def _process_worker_init(blob):
             spec_env,
             engine=settings.engine,
             reuse=settings.reuse_models,
+            cache=bound_cache,
         ),
     }
 
@@ -336,9 +346,19 @@ class LevelScheduler:
         pfgs_by_key = {
             self.key_of[ref]: pfg for ref, pfg in self.inference.pfgs.items()
         }
+        bound_cache = self.inference.cache
+        cache_spec = (
+            bound_cache.cache.spec() if bound_cache is not None else None
+        )
         try:
             blob = pickle.dumps(
-                (self.program, self.config, self.settings, pfgs_by_key),
+                (
+                    self.program,
+                    self.config,
+                    self.settings,
+                    pfgs_by_key,
+                    cache_spec,
+                ),
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
         except Exception as exc:
@@ -444,6 +464,8 @@ class LevelScheduler:
                 )
         elif outcome.skipped:
             stats.skips += 1
+        elif outcome.replayed:
+            stats.replays += 1
         else:
             stats.reuses += 1
         stats.build_seconds += outcome.build_seconds

@@ -45,6 +45,9 @@ class PipelineResult:
     annotated_sources: List[str] = field(default_factory=list)
     stages: List[StageTrace] = field(default_factory=list)
     inference_stats: Optional[object] = None
+    #: Persistent-cache counter movement for this run (a CacheStats
+    #: delta), or None when the pipeline ran without a cache.
+    cache_stats: Optional[object] = None
 
     @property
     def inferred_annotation_count(self):
@@ -73,61 +76,106 @@ class AnekPipeline:
     """Drives parse -> infer -> apply -> check."""
 
     def __init__(self, config=None, settings=None, run_checker=True,
-                 apply_annotations=True):
+                 apply_annotations=True, cache=None):
         self.config = config or HeuristicConfig()
         self.settings = settings or InferenceSettings()
         self.run_checker = run_checker
         self.apply_annotations = apply_annotations
+        #: An :class:`repro.cache.AnalysisCache`, or None (no persistence).
+        self.cache = cache
 
     def run_on_sources(self, sources):
         """Run the pipeline over raw Java source strings."""
         result = PipelineResult()
+        run_before = (
+            self.cache.stats.snapshot() if self.cache is not None else None
+        )
         start = time.perf_counter()
-        units = [parse_compilation_unit(source) for source in sources]
+        if self.cache is not None:
+            units = [self.cache.parse(source) for source in sources]
+            moved = self.cache.stats.delta(run_before)
+            cache_detail = ", cache %d/%d units" % (
+                moved.parse_hits,
+                len(units),
+            )
+        else:
+            units = [parse_compilation_unit(source) for source in sources]
+            cache_detail = ""
         program = resolve_program(units)
         result.program = program
         result.stages.append(
             StageTrace(
                 "extractor",
                 time.perf_counter() - start,
-                "%d units, %d classes" % (len(units), len(program.classes)),
+                "%d units, %d classes%s"
+                % (len(units), len(program.classes), cache_detail),
             )
         )
-        return self._run_rest(program, result)
+        return self._run_rest(program, result, run_before)
 
     def run_on_program(self, program):
         """Run the pipeline over an already-resolved program."""
         result = PipelineResult()
+        run_before = (
+            self.cache.stats.snapshot() if self.cache is not None else None
+        )
         result.program = program
         result.stages.append(
             StageTrace("extractor", 0.0, "pre-resolved program")
         )
-        return self._run_rest(program, result)
+        return self._run_rest(program, result, run_before)
 
-    def _run_rest(self, program, result):
+    def _run_rest(self, program, result, run_before=None):
         # Constraint generation + inference (Figure 10's two generators
         # plus INFER.NET are one stage here; stats break them down).
         start = time.perf_counter()
-        inference = AnekInference(program, self.config, self.settings)
+        cache_before = (
+            self.cache.stats.snapshot() if self.cache is not None else None
+        )
+        inference = AnekInference(
+            program, self.config, self.settings, cache=self.cache
+        )
         marginals = inference.run()
         result.inference_stats = inference.stats
         stats = inference.stats
-        detail = "%d methods, %d solves, %d factors" % (
-            stats.methods,
-            stats.solves,
-            stats.factors,
-        )
-        detail += ", engine=%s (%d built, %d reused, %d skipped; " % (
-            stats.engine,
-            stats.builds,
-            stats.reuses,
-            stats.skips,
-        )
-        detail += "build %.3fs, kernel %.3fs)" % (
-            stats.build_seconds,
-            stats.solve_seconds,
-        )
-        if stats.executor != "worklist":
+        if stats.warm_start:
+            detail = "%d methods, warm start (full run restored from cache)" % (
+                stats.methods
+            )
+        else:
+            detail = "%d methods, %d solves, %d factors" % (
+                stats.methods,
+                stats.solves,
+                stats.factors,
+            )
+            detail += ", engine=%s (%d built, %d reused, %d skipped" % (
+                stats.engine,
+                stats.builds,
+                stats.reuses,
+                stats.skips,
+            )
+            if stats.replays:
+                detail += ", %d replayed" % stats.replays
+            detail += "; build %.3fs, kernel %.3fs)" % (
+                stats.build_seconds,
+                stats.solve_seconds,
+            )
+        if cache_before is not None:
+            moved = self.cache.stats.delta(cache_before)
+            result.cache_stats = self.cache.stats.delta(
+                run_before if run_before is not None else cache_before
+            )
+            detail += (
+                ", cache[pfg %d/%d, solve %d hit/%d miss, invalidated %d]"
+                % (
+                    moved.pfg_hits,
+                    moved.pfg_hits + moved.pfg_misses,
+                    moved.solve_hits,
+                    moved.solve_misses,
+                    moved.invalidated_methods,
+                )
+            )
+        if stats.executor != "worklist" and not stats.warm_start:
             detail += ", executor=%s jobs=%d (%d levels, %d rounds)" % (
                 stats.executor,
                 stats.jobs,

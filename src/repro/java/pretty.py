@@ -298,3 +298,23 @@ class PrettyPrinter:
 def pretty_print(node, indent="    "):
     """Render an AST node (compilation unit or class) to source text."""
     return PrettyPrinter(indent=indent).render(node)
+
+
+def pretty_print_method(method, indent="    "):
+    """Render one method declaration (annotations, signature, body).
+
+    The canonical rendering doubles as the method's *content*: two
+    methods print identically exactly when the parser would produce
+    interchangeable declarations, which is what the persistent cache
+    fingerprints (:mod:`repro.cache.fingerprints`) need.
+    """
+    printer = PrettyPrinter(indent=indent)
+    printer._method(method)
+    return "\n".join(printer.lines) + "\n"
+
+
+def pretty_print_field(field, indent="    "):
+    """Render one field declaration, including its initializer."""
+    printer = PrettyPrinter(indent=indent)
+    printer._field(field)
+    return "\n".join(printer.lines) + "\n"

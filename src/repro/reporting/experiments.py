@@ -150,6 +150,7 @@ class PmdExperiment:
         elapsed = time.perf_counter() - start
         self._anek_result = result
         self._anek_seconds = elapsed
+        stats = result.inference_stats
         return Table2Row(
             "Anek",
             result.inferred_annotation_count,
@@ -160,6 +161,8 @@ class PmdExperiment:
                 for stage in result.stages
                 if stage.name != "plural-check"
             ),
+            note="(build %.2fs + kernel %.2fs)"
+            % (stats.build_seconds, stats.solve_seconds),
         )
 
     def run_anek_logical(self):
@@ -371,6 +374,12 @@ class Table5Row:
     solves: int
     annotations: int
     identical: bool
+    #: Solver-time breakdown (InferenceStats.build_seconds /
+    #: solve_seconds — previously dropped from the report).
+    build_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    #: Persistent-cache hit ratio for this run, or None (cache off).
+    cache_ratio: Optional[float] = None
 
 
 @dataclass
@@ -386,7 +395,8 @@ class Table5Result:
         )
 
 
-def table5_parallel(corpus_spec=None, jobs=0, settings=None, repeats=1):
+def table5_parallel(corpus_spec=None, jobs=0, settings=None, repeats=1,
+                    cache=None):
     """Sequential vs scheduled-executor wall clock on the PMD corpus.
 
     Every executor runs the same pipeline over a fresh copy of the same
@@ -394,7 +404,9 @@ def table5_parallel(corpus_spec=None, jobs=0, settings=None, repeats=1):
     engine.  ``identical`` reports whether the executor's thresholded
     specs match the serial scheduler's (the determinism guarantee — the
     worklist row legitimately reads False when its different schedule
-    changed a borderline marginal).
+    changed a borderline marginal).  Passing an
+    :class:`repro.cache.AnalysisCache` runs every executor against it
+    and adds its hit ratio to the report.
     """
     from repro.corpus import generate_pmd_corpus
 
@@ -428,7 +440,7 @@ def table5_parallel(corpus_spec=None, jobs=0, settings=None, repeats=1):
             program = fresh_program()
             pipeline = AnekPipeline(
                 settings=run_settings, run_checker=False,
-                apply_annotations=False,
+                apply_annotations=False, cache=cache,
             )
             start = time.perf_counter()
             pipeline_result = pipeline.run_on_program(program)
@@ -443,14 +455,23 @@ def table5_parallel(corpus_spec=None, jobs=0, settings=None, repeats=1):
         if executor == "worklist":
             baseline_seconds = best
         specs_by_executor[executor] = specs
+        stats = pipeline_result.inference_stats
+        cache_stats = pipeline_result.cache_stats
         result.rows.append(
             Table5Row(
                 executor=executor,
                 seconds=best,
                 speedup=baseline_seconds / best if baseline_seconds else 0.0,
-                solves=pipeline_result.inference_stats.solves,
+                solves=stats.solves,
                 annotations=len(specs),
                 identical=True,
+                build_seconds=stats.build_seconds,
+                solve_seconds=stats.solve_seconds,
+                cache_ratio=(
+                    cache_stats.hit_ratio()
+                    if cache_stats is not None
+                    else None
+                ),
             )
         )
     reference_specs = specs_by_executor["serial"]
@@ -458,16 +479,21 @@ def table5_parallel(corpus_spec=None, jobs=0, settings=None, repeats=1):
         row.identical = specs_by_executor[row.executor] == reference_specs
     table = Table(
         "Table 5. ANEK-INFER executors on the synthetic PMD corpus.",
-        ["Executor", "Time", "Speedup", "Solves", "Annotations",
-         "Same Specs"],
+        ["Executor", "Time", "Build", "Kernel", "Speedup", "Solves",
+         "Annotations", "Cache", "Same Specs"],
     )
     for row in result.rows:
         table.add_row(
             row.executor,
             format_seconds(row.seconds),
+            format_seconds(row.build_seconds),
+            format_seconds(row.solve_seconds),
             "%.2fx" % row.speedup,
             row.solves,
             row.annotations,
+            "off"
+            if row.cache_ratio is None
+            else "%.0f%%" % (100.0 * row.cache_ratio),
             "yes" if row.identical else "no",
         )
     result.table = table

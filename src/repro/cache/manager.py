@@ -62,6 +62,9 @@ class CacheStats:
     final_misses: int = 0
     #: Entries that existed but failed to deserialize (treated as misses).
     corrupt_entries: int = 0
+    #: Entries that deserialized but failed schema/shape validation —
+    #: quarantined (deleted) exactly like corrupt ones.
+    schema_invalid: int = 0
     #: Methods whose static fingerprint changed since the manifest run.
     invalidated_methods: int = 0
     #: Invalidated methods plus their transitive callers (SCC cone).
@@ -117,11 +120,12 @@ class CacheStats:
         )
         lines.append(
             "  invalidated %d method(s), dirty cone %d, corrupt %d, "
-            "hit ratio %.1f%%"
+            "schema-invalid %d, hit ratio %.1f%%"
             % (
                 self.invalidated_methods,
                 self.dirty_cone,
                 self.corrupt_entries,
+                self.schema_invalid,
                 100.0 * self.hit_ratio(),
             )
         )
@@ -168,10 +172,25 @@ class AnalysisCache:
 
     def parse(self, source):
         """Parse one source string, via the store when possible."""
+        from repro.java.ast import CompilationUnit
         from repro.java.parser import parse_compilation_unit
 
         key = self.key("unit", source_digest(source))
         unit = self.load(key)
+        if unit is not None and not isinstance(unit, CompilationUnit):
+            # Deserialized fine but is not a compilation unit: quarantine
+            # it (delete, or ``save`` would pin it) and fall through to a
+            # cold parse.
+            self.stats.schema_invalid += 1
+            warnings.warn(
+                "discarding schema-invalid unit cache entry (expected "
+                "CompilationUnit, got %s); falling back to a cold parse"
+                % type(unit).__name__,
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.store.discard(key)
+            unit = None
         if unit is not None:
             self.stats.parse_hits += 1
             return unit
@@ -216,6 +235,19 @@ class BoundCache:
         self._method_fps = {}
         self._manifest = self.store.load_manifest()
 
+    def _quarantine_entry(self, key, layer, exc):
+        """A payload deserialized but failed shape validation: count it,
+        delete it (``save`` would otherwise pin it forever), miss."""
+        self.stats.schema_invalid += 1
+        warnings.warn(
+            "discarding schema-invalid %s cache entry (%s: %s); "
+            "falling back to a cold build"
+            % (layer, type(exc).__name__, exc),
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        self.store.discard(key)
+
     def method_fingerprint(self, method_ref):
         """The method's static fingerprint: own content × environment."""
         fingerprint = self._method_fps.get(method_ref)
@@ -234,13 +266,17 @@ class BoundCache:
         payload = self.cache.load(key)
         if payload is not None:
             try:
+                if not isinstance(payload, dict):
+                    raise TypeError(
+                        "expected dict payload, got %s" % type(payload).__name__
+                    )
                 pfg = pfg_from_payload(payload["pfg"], method_ref, self.table)
                 callees = [
                     (self.table[callee_key], line)
                     for callee_key, line in payload["callees"]
                 ]
-            except (KeyError, IndexError, TypeError):
-                self.stats.corrupt_entries += 1
+            except (KeyError, IndexError, TypeError, ValueError) as exc:
+                self._quarantine_entry(key, "pfg", exc)
                 payload = None
             else:
                 self.stats.pfg_hits += 1
@@ -280,6 +316,10 @@ class BoundCache:
         payload = self.cache.load(key)
         if payload is not None:
             try:
+                if not isinstance(payload, dict):
+                    raise TypeError(
+                        "expected dict payload, got %s" % type(payload).__name__
+                    )
                 boundary = {
                     (slot, target): TargetMarginal.from_payload(part)
                     for (slot, target), part in payload["boundary"]
@@ -300,8 +340,8 @@ class BoundCache:
                         part,
                     ) in payload["deposits"]
                 ]
-            except (KeyError, ValueError, TypeError):
-                self.stats.corrupt_entries += 1
+            except (KeyError, IndexError, ValueError, TypeError) as exc:
+                self._quarantine_entry(key, "solve", exc)
             else:
                 self.stats.solve_hits += 1
                 return boundary, deposits
@@ -340,20 +380,26 @@ class BoundCache:
         """(results, summary store payload) for a warm start, or None."""
         from repro.core.summaries import TargetMarginal
 
-        payload = self.cache.load(self.final_key(schedule_kind))
+        final_key = self.final_key(schedule_kind)
+        payload = self.cache.load(final_key)
         if payload is not None:
             try:
+                if not isinstance(payload, dict):
+                    raise TypeError(
+                        "expected dict payload, got %s" % type(payload).__name__
+                    )
                 results = {}
                 for key, boundary in payload["results"]:
                     results[self.table[key]] = {
                         (slot, target): TargetMarginal.from_payload(part)
                         for (slot, target), part in boundary
                     }
-            except (KeyError, ValueError, TypeError):
-                self.stats.corrupt_entries += 1
+                store_payload = payload["store"]
+            except (KeyError, IndexError, ValueError, TypeError) as exc:
+                self._quarantine_entry(final_key, "final", exc)
             else:
                 self.stats.final_hits += 1
-                return results, payload["store"]
+                return results, store_payload
         self.stats.final_misses += 1
         return None
 

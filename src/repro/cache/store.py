@@ -68,6 +68,15 @@ class ArtifactStore:
             path, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         )
 
+    def discard(self, key):
+        """Best-effort removal of one entry (schema-invalid quarantine:
+        without this, ``save``'s exists-check would pin the bad artifact
+        forever)."""
+        try:
+            os.remove(self._path(key))
+        except OSError:
+            pass
+
     # -- the manifest ---------------------------------------------------------
 
     def manifest_path(self):

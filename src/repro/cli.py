@@ -11,10 +11,21 @@ Iterator API (on by default) and ``--threshold``/``--max-iters`` to tune
 extraction and the worklist.  ``infer`` keeps a persistent analysis
 cache in ``.anek-cache/`` (``--cache-dir`` to move it, ``--no-cache`` to
 disable, ``--cache-stats`` to print hit/miss counters).
+
+Exit codes: 0 = clean run; 1 = ``check`` found warnings; 2 = the run
+completed but quarantined/degraded some work (see ``--fail-report``);
+3 = usage error; 4 = fatal internal error (one-line summary on stderr,
+full traceback with ``--debug``).
 """
 
 import argparse
 import sys
+
+#: CLI exit codes (0 = clean; ``check`` uses 1 for "warnings found").
+EXIT_OK = 0
+EXIT_DEGRADED = 2
+EXIT_USAGE = 3
+EXIT_FATAL = 4
 
 from repro.cache import DEFAULT_CACHE_DIR
 from repro.core import AnekPipeline, InferenceSettings
@@ -42,6 +53,39 @@ def resolve_executor_args(executor, jobs):
     return executor, jobs or 0
 
 
+def _build_policy(args):
+    from repro.resilience.policy import ResiliencePolicy
+
+    if not getattr(args, "resilience", True):
+        return ResiliencePolicy.disabled()
+    return ResiliencePolicy(
+        solve_deadline=getattr(args, "solve_deadline", 0.0),
+        solve_retries=getattr(args, "solve_retries", 2),
+        worker_retries=getattr(args, "worker_retries", 2),
+        worker_timeout=getattr(args, "worker_timeout", 0.0),
+    )
+
+
+def _emit_fail_report(result, args, out):
+    """The resilience epilogue: summary line, optional JSON report, and
+    the run's exit code."""
+    failures = result.failures
+    if failures:
+        print("", file=out)
+        print(failures.summary_line(), file=out)
+        for record in failures:
+            print("  " + record.format(), file=out)
+    destination = getattr(args, "fail_report", None)
+    if destination:
+        payload = failures.to_json()
+        if destination == "-":
+            print(payload, file=out)
+        else:
+            with open(destination, "w") as handle:
+                handle.write(payload + "\n")
+    return EXIT_DEGRADED if failures.has_degradation else EXIT_OK
+
+
 def cmd_infer(args, out):
     executor, jobs = resolve_executor_args(args.executor, args.jobs)
     settings = InferenceSettings(
@@ -50,6 +94,7 @@ def cmd_infer(args, out):
         executor=executor,
         jobs=jobs,
         engine=args.engine,
+        policy=_build_policy(args),
     )
     cache = None
     if args.use_cache:
@@ -78,7 +123,7 @@ def cmd_infer(args, out):
         for source in result.annotated_sources:
             print("", file=out)
             print(source, file=out)
-    return 0
+    return _emit_fail_report(result, args, out)
 
 
 def cmd_check(args, out):
@@ -108,14 +153,14 @@ def cmd_pfg(args, out):
     decl = program.lookup_class(class_name)
     if decl is None:
         print("error: unknown class %r" % class_name, file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     methods = decl.find_method(method_name)
     if not methods:
         print(
             "error: no method %r in %s" % (method_name, class_name),
             file=sys.stderr,
         )
-        return 2
+        return EXIT_USAGE
     pfg = build_pfg(program, MethodRef(decl, methods[0]))
     if args.dot:
         print(pfg.to_dot(), file=out)
@@ -137,14 +182,14 @@ def cmd_explain(args, out):
     decl = program.lookup_class(class_name)
     if decl is None:
         print("error: unknown class %r" % class_name, file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     methods = decl.find_method(method_name)
     if not methods:
         print(
             "error: no method %r in %s" % (method_name, class_name),
             file=sys.stderr,
         )
-        return 2
+        return EXIT_USAGE
     diagnostics = explain_method(
         program, MethodRef(decl, methods[0]), threshold=args.threshold
     )
@@ -204,19 +249,98 @@ def cmd_figure(args, out):
 
 
 def _job_count(text):
+    """Explicit ``--jobs`` values must be >= 1; the unset default stays
+    the sentinel 0 (= CPU count), which argparse never routes through
+    this type function."""
     try:
         value = int(text)
     except ValueError:
         raise argparse.ArgumentTypeError("expected an integer, got %r" % text)
-    if value < 0:
-        raise argparse.ArgumentTypeError("must be >= 0 (0 = CPU count)")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            "--jobs must be >= 1 (omit the flag for the CPU count)"
+        )
     return value
 
 
+def _threshold(text):
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError("expected a float, got %r" % text)
+    if not 0.5 <= value < 1.0:
+        raise argparse.ArgumentTypeError(
+            "--threshold must be in [0.5, 1), got %s" % text
+        )
+    return value
+
+
+def _max_iters(text):
+    """Explicit ``--max-iters`` must be >= 1; the unset default stays the
+    sentinel 0 (= 3 passes over all methods)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError("expected an integer, got %r" % text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            "--max-iters must be >= 1 (omit the flag for the default "
+            "3-pass budget)"
+        )
+    return value
+
+
+def _nonnegative_seconds(flag):
+    def parse(text):
+        try:
+            value = float(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                "expected a number of seconds, got %r" % text
+            )
+        if value < 0:
+            raise argparse.ArgumentTypeError(
+                "%s must be >= 0 (0 disables it)" % flag
+            )
+        return value
+
+    return parse
+
+
+def _nonnegative_count(flag):
+    def parse(text):
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                "expected an integer, got %r" % text
+            )
+        if value < 0:
+            raise argparse.ArgumentTypeError("%s must be >= 0" % flag)
+        return value
+
+    return parse
+
+
+class _Parser(argparse.ArgumentParser):
+    """argparse with the repo's exit-code convention: usage errors exit
+    with :data:`EXIT_USAGE` instead of argparse's default 2 (which here
+    means completed-with-quarantines)."""
+
+    def error(self, message):
+        self.print_usage(sys.stderr)
+        self.exit(EXIT_USAGE, "%s: error: %s\n" % (self.prog, message))
+
+
 def build_parser():
-    parser = argparse.ArgumentParser(
+    parser = _Parser(
         prog="repro",
         description="ANEK: probabilistic inference of typestate specifications",
+    )
+    parser.add_argument(
+        "--debug",
+        action="store_true",
+        help="print full tracebacks instead of one-line error summaries",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -224,10 +348,10 @@ def build_parser():
     infer.add_argument("files", nargs="+")
     infer.add_argument("--no-api", dest="api", action="store_false",
                        help="do not prepend the annotated Iterator API")
-    infer.add_argument("--threshold", type=float, default=0.5,
+    infer.add_argument("--threshold", type=_threshold, default=0.5,
                        help="extraction threshold t in [0.5, 1)")
-    infer.add_argument("--max-iters", type=int, default=0,
-                       help="worklist iteration cap (0 = 3 passes)")
+    infer.add_argument("--max-iters", type=_max_iters, default=0,
+                       help="worklist iteration cap (default: 3 passes)")
     infer.add_argument("--jobs", type=_job_count, default=0,
                        help="parallel workers (implies --executor process; "
                             "0 = CPU count when an executor is selected)")
@@ -248,6 +372,30 @@ def build_parser():
                        help="disable the persistent analysis cache")
     infer.add_argument("--cache-stats", action="store_true",
                        help="print cache hit/miss/invalidation counters")
+    infer.add_argument("--fail-report", metavar="PATH", default=None,
+                       help="write the structured failure report as JSON "
+                            "('-' = stdout)")
+    infer.add_argument("--no-resilience", dest="resilience",
+                       action="store_false",
+                       help="disable fault tolerance: any failure aborts "
+                            "the whole run (legacy behaviour)")
+    infer.add_argument("--solve-deadline", metavar="SECONDS",
+                       type=_nonnegative_seconds("--solve-deadline"),
+                       default=0.0,
+                       help="per-method solve deadline (0 = none)")
+    infer.add_argument("--solve-retries", metavar="N",
+                       type=_nonnegative_count("--solve-retries"), default=2,
+                       help="solve retries before the engine fallback "
+                            "(default: %(default)s)")
+    infer.add_argument("--worker-timeout", metavar="SECONDS",
+                       type=_nonnegative_seconds("--worker-timeout"),
+                       default=0.0,
+                       help="per-chunk worker deadline for the process "
+                            "executor (0 = none)")
+    infer.add_argument("--worker-retries", metavar="N",
+                       type=_nonnegative_count("--worker-retries"), default=2,
+                       help="pool rebuilds before degrading to in-parent "
+                            "execution (default: %(default)s)")
     infer.set_defaults(run=cmd_infer)
 
     check = sub.add_parser("check", help="run the PLURAL checker")
@@ -268,7 +416,7 @@ def build_parser():
     explain.add_argument("files", nargs="+")
     explain.add_argument("method", help="Class.method")
     explain.add_argument("--no-api", dest="api", action="store_false")
-    explain.add_argument("--threshold", type=float, default=0.5)
+    explain.add_argument("--threshold", type=_threshold, default=0.5)
     explain.set_defaults(run=cmd_explain)
 
     table = sub.add_parser("table", help="regenerate a paper table")
@@ -293,7 +441,17 @@ def build_parser():
 def main(argv=None, out=None):
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.run(args, out or sys.stdout)
+    try:
+        return args.run(args, out or sys.stdout)
+    except Exception as exc:
+        if args.debug:
+            raise
+        print(
+            "repro: fatal: %s: %s (re-run with --debug for the traceback)"
+            % (type(exc).__name__, exc),
+            file=sys.stderr,
+        )
+        return EXIT_FATAL
 
 
 if __name__ == "__main__":

@@ -37,6 +37,12 @@ from repro.core.summaries import (
     clip_marginal,
     satisfaction_evidence,
 )
+from repro.resilience.faults import maybe_fault
+from repro.resilience.policy import ResiliencePolicy
+from repro.resilience.report import FailureReport
+
+#: The default fault-tolerance posture: isolation and degradation on.
+_DEFAULT_POLICY = ResiliencePolicy()
 
 
 @dataclass
@@ -61,8 +67,25 @@ class InferenceSettings:
     #: only mutated prior/evidence slots and skipping solves whose input
     #: fingerprint is unchanged.  False rebuilds every visit.
     reuse_models: bool = True
+    #: The fault-tolerance policy (:class:`repro.resilience.policy.
+    #: ResiliencePolicy`), or None for the default (enabled) policy.
+    #: ``ResiliencePolicy.disabled()`` restores the legacy all-or-nothing
+    #: behaviour.  Deliberately excluded from cache config digests: with
+    #: zero faults a resilient run is bit-identical to a non-resilient
+    #: one.
+    policy: object = None
+
+    def effective_policy(self):
+        return self.policy if self.policy is not None else _DEFAULT_POLICY
 
     def __post_init__(self):
+        if self.policy is not None and not isinstance(
+            self.policy, ResiliencePolicy
+        ):
+            raise ValueError(
+                "policy must be a ResiliencePolicy or None, got %r"
+                % (self.policy,)
+            )
         if self.executor not in EXECUTORS:
             raise ValueError(
                 "unknown executor %r (expected one of %s)"
@@ -119,15 +142,28 @@ class InferenceStats:
     rounds: int = 0
     #: Per-level trace entries: {round, level, methods, seconds}.
     schedule: list = field(default_factory=list)
+    #: Methods quarantined by the resilience layer (frontend or
+    #: constraint-generation failures): excluded from inference, given a
+    #: conservative spec at extraction.
+    quarantined: int = 0
+    #: Solves that fell to the prior-only floor of the retry ladder.
+    degraded: int = 0
 
 
 class AnekInference:
     """The ANEK-INFER procedure over a resolved program."""
 
-    def __init__(self, program, config=None, settings=None, cache=None):
+    def __init__(self, program, config=None, settings=None, cache=None,
+                 failures=None):
         self.program = program
         self.config = config or HeuristicConfig()
         self.settings = settings or InferenceSettings()
+        #: The run's failure ledger (shared with the pipeline when it
+        #: owns the run, so parse-stage and solve-stage failures land in
+        #: one report).
+        self.failures = failures if failures is not None else FailureReport()
+        #: {method_ref: FailureRecord} of methods dropped from inference.
+        self.quarantined = {}
         self.spec_env = SpecEnvironment(program)
         self.summaries = SummaryStore(
             change_threshold=self.settings.summary_change_threshold
@@ -153,9 +189,44 @@ class AnekInference:
         self.method_set = set()
         self._callers_of = {}
 
+    # -- error isolation ----------------------------------------------------------
+
+    def quarantine_method(self, method_ref, record):
+        """Drop one method from inference; downstream stages see it only
+        through its conservative (empty-boundary) spec."""
+        self.failures.add(record)
+        self.quarantined[method_ref] = record
+        self.pfgs.pop(method_ref, None)
+        self.method_set.discard(method_ref)
+        self.stats.quarantined += 1
+
+    def _build_pfg_guarded(self, method_ref, policy):
+        """PFG build under isolation: a crash quarantines only this
+        method.  Returns (pfg, callees-or-None) or (None, None)."""
+        from repro.resilience.report import record_from_exception
+
+        site_key = self.models.site_key(method_ref)
+        try:
+            if policy.enabled:
+                maybe_fault("pfg", site_key)
+            pfg = build_pfg(self.program, method_ref)
+            callees = method_call_targets(self.program, method_ref)
+        except Exception as exc:
+            if not policy.enabled:
+                raise
+            self.quarantine_method(
+                method_ref,
+                record_from_exception(
+                    "pfg", site_key, exc, "method-quarantined"
+                ),
+            )
+            return None, None
+        return pfg, callees
+
     # -- initialization (Figure 9 lines 1-7) -------------------------------------
 
     def _initialize(self, build_pfgs=True):
+        policy = self.settings.effective_policy()
         methods = list(self.program.methods_with_bodies())
         self.stats.methods = len(methods)
         self.method_set = set(methods)
@@ -168,14 +239,21 @@ class AnekInference:
                 if cached_callees is not None:
                     pfg, callees = self.cache.load_frontend(method_ref)
                     if pfg is None:
-                        pfg = build_pfg(self.program, method_ref)
-                        callees = method_call_targets(self.program, method_ref)
+                        pfg, callees = self._build_pfg_guarded(
+                            method_ref, policy
+                        )
+                        if pfg is None:
+                            continue
                         self.cache.store_frontend(method_ref, pfg, callees)
                     cached_callees[method_ref] = callees
                 else:
-                    pfg = build_pfg(self.program, method_ref)
+                    pfg, _ = self._build_pfg_guarded(method_ref, policy)
+                    if pfg is None:
+                        continue
                 self.pfgs[method_ref] = pfg
                 self.stats.pfg_nodes += pfg.node_count()
+            if self.quarantined:
+                methods = [m for m in methods if m in self.pfgs]
         if cached_callees is not None:
             # The call graph is reconstructed from the per-method callee
             # lists — skipping every lowering — and matches what
@@ -261,6 +339,11 @@ class AnekInference:
     def _persist_final(self, results):
         if self.cache is None:
             return
+        if self.failures.has_degradation:
+            # A degraded run is not a pure function of the fingerprinted
+            # inputs (the fault may not recur), so it must never seed a
+            # warm start.
+            return
         self.cache.store_final(self._schedule_kind(), results, self.summaries)
         self.cache.save_manifest(list(self.method_set))
 
@@ -268,7 +351,34 @@ class AnekInference:
         """SOLVE one method (building or reusing its cached model);
         returns methods to re-enqueue."""
         pfg = self.pfgs[method_ref]
-        visit = self.models.solve(method_ref, pfg, self.summaries, self.settings)
+        policy = self.settings.effective_policy()
+        try:
+            visit = self.models.solve(
+                method_ref, pfg, self.summaries, self.settings
+            )
+        except Exception as exc:
+            if not policy.enabled:
+                raise
+            # Constraint generation (or the model machinery around it)
+            # crashed: quarantine just this method.  The solve stage
+            # itself never raises here — guarded_solve degrades instead.
+            from repro.resilience.report import record_from_exception
+
+            self.quarantine_method(
+                method_ref,
+                record_from_exception(
+                    "constraints",
+                    self.models.site_key(method_ref),
+                    exc,
+                    "method-quarantined",
+                ),
+            )
+            results[method_ref] = {}
+            return []
+        if visit.failures:
+            self.failures.extend(visit.failures)
+        if visit.degraded:
+            self.stats.degraded += 1
         if visit.built:
             # Constraint generation ran: count its factors exactly once.
             self.stats.builds += 1
@@ -318,6 +428,11 @@ class AnekInference:
 
         if results is None:
             results = self.run()
+        # Quarantined methods still get a (conservative, empty-boundary)
+        # entry so downstream consumers — the applier, PLURAL checking —
+        # see every method they expect.
+        for method_ref in self.quarantined:
+            results.setdefault(method_ref, {})
         return extract_program_specs(
             self.program,
             results,

@@ -524,6 +524,11 @@ class ModelVisit:
     factor_count: int = 0
     #: Constraint-rule counts of this visit's build (empty unless built).
     constraint_counts: dict = field(default_factory=dict)
+    #: True when the solve fell to the prior-only floor of the
+    #: resilience ladder (conservative marginals, not cached).
+    degraded: bool = False
+    #: FailureRecords emitted by the solve guard for this visit.
+    failures: list = field(default_factory=list)
 
     @property
     def reused(self):
@@ -567,9 +572,19 @@ class ModelCache:
         self.reuse = reuse
         self.cache = cache
         self._entries = {}
+        #: Stable method-key memo for fault sites and failure records.
+        self._site_keys = {}
 
     def entry_count(self):
         return len(self._entries)
+
+    def site_key(self, method_ref):
+        from repro.java.symbols import method_key
+
+        key = self._site_keys.get(method_ref)
+        if key is None:
+            key = self._site_keys[method_ref] = method_key(method_ref)
+        return key
 
     def solve(self, method_ref, pfg, summary_store, settings):
         """Run one worklist visit; returns a :class:`ModelVisit`."""
@@ -630,9 +645,19 @@ class ModelCache:
                     deposits=deposits,
                     replayed=True,
                 )
+        from repro.resilience.faults import maybe_fault
+        from repro.resilience.guard import guarded_solve
+
+        policy = settings.effective_policy()
+        site_key = self.site_key(method_ref)
         built = entry is None or entry["model"] is None
         start = time.perf_counter()
         if built:
+            # A lex/parse failure quarantines a *unit* upstream; a crash
+            # here (constraint generation / graph assembly) propagates to
+            # the caller, which quarantines just this *method*.
+            if policy.enabled:
+                maybe_fault("constraints", site_key)
             model = MethodModel(
                 self.program,
                 pfg,
@@ -656,21 +681,27 @@ class ModelCache:
             model.refresh(summary_store)
         build_seconds = time.perf_counter() - start
         start = time.perf_counter()
-        result = model.solve(
-            max_iters=settings.bp_iters,
-            damping=settings.bp_damping,
-            tolerance=settings.bp_tolerance,
-            engine=self.engine,
+        result, guard_record, degraded = guarded_solve(
+            model, settings, policy, site_key, self.engine
         )
         solve_seconds = time.perf_counter() - start
         boundary = model.boundary_marginals(result)
         deposits = list(model.callsite_marginals(result))
         if entry is not None:
-            entry["fingerprint"] = fingerprint
-            entry["result"] = result
-            entry["boundary"] = boundary
-            entry["deposits"] = deposits
-        if solve_key is not None:
+            if degraded:
+                # A degraded outcome is not a pure function of the
+                # visit's fingerprinted inputs (the fault may not refire)
+                # — never serve it from the skip path.
+                entry["fingerprint"] = None
+                entry["result"] = None
+                entry["boundary"] = None
+                entry["deposits"] = None
+            else:
+                entry["fingerprint"] = fingerprint
+                entry["result"] = result
+                entry["boundary"] = boundary
+                entry["deposits"] = deposits
+        if solve_key is not None and not degraded:
             self.cache.store_solve(solve_key, boundary, deposits)
         return ModelVisit(
             model=model,
@@ -683,4 +714,6 @@ class ModelCache:
             deposits=deposits,
             factor_count=model.graph.factor_count if built else 0,
             constraint_counts=dict(model.generator.counts) if built else {},
+            degraded=degraded,
+            failures=[guard_record] if guard_record is not None else [],
         )

@@ -39,7 +39,9 @@ import pickle
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 
 from repro.analysis.callgraph import condensation_levels
 from repro.core.model import ModelCache
@@ -51,6 +53,8 @@ from repro.core.summaries import (
     clip_marginal,
     satisfaction_evidence,
 )
+from repro.resilience.faults import maybe_fault
+from repro.resilience.report import FailureRecord, record_from_exception
 
 #: Executors accepted by ``InferenceSettings.executor``.  ``worklist`` is
 #: the sequential reference engine (paper Figure 9); the other three run
@@ -91,6 +95,13 @@ class MethodSolveOutcome:
     replayed: bool = False
     build_seconds: float = 0.0
     solve_seconds: float = 0.0
+    #: Resilience outcomes: the method was dropped (constraint-generation
+    #: crash) / fell to prior-only marginals / the FailureRecords either
+    #: way.  Records are plain dataclasses, so they pickle across the
+    #: process boundary inside the outcome.
+    quarantined: bool = False
+    degraded: bool = False
+    failures: list = field(default_factory=list)
 
 
 def solve_method_to_outcome(
@@ -104,7 +115,30 @@ def solve_method_to_outcome(
         models = ModelCache(
             program, config, spec_env, engine=settings.engine, reuse=False
         )
-    visit = models.solve(method_ref, pfg, store, settings)
+    policy = settings.effective_policy()
+    try:
+        visit = models.solve(method_ref, pfg, store, settings)
+    except Exception as exc:
+        if not policy.enabled:
+            raise
+        # Constraint generation (or the model machinery around it)
+        # crashed.  Report a quarantined outcome instead of letting the
+        # exception take down the level (thread executor) or the whole
+        # chunk (process executor).
+        return MethodSolveOutcome(
+            key=key,
+            boundary=[],
+            deposits=[],
+            factor_count=0,
+            constraint_counts={},
+            built=False,
+            quarantined=True,
+            failures=[
+                record_from_exception(
+                    "constraints", key, exc, "method-quarantined"
+                )
+            ],
+        )
     boundary = [
         (slot_target, marginal.to_payload())
         for slot_target, marginal in visit.boundary.items()
@@ -132,6 +166,8 @@ def solve_method_to_outcome(
         replayed=visit.replayed,
         build_seconds=visit.build_seconds,
         solve_seconds=visit.solve_seconds,
+        degraded=visit.degraded,
+        failures=list(visit.failures),
     )
 
 
@@ -191,8 +227,15 @@ def _process_solve_chunk(keys, store_payload):
     """Solve a chunk of one level's methods inside a worker process."""
     state = _WORKER
     store = SummaryStore.from_payload(store_payload, state["table"])
+    policy = state["settings"].effective_policy()
     outcomes = []
     for key in keys:
+        if policy.enabled:
+            # The worker-crash site: ``kill`` faults simulate a
+            # segfaulting worker, ``delay`` a hung one, ``raise`` an
+            # in-worker crash — each surfaces in the parent as a failed
+            # chunk and exercises the pool-recovery path.
+            maybe_fault("worker", key)
         ref = state["table"][key]
         pfg = state["pfgs"].get(key)
         if pfg is None:  # pragma: no cover - defensive; blob ships all PFGs
@@ -265,41 +308,146 @@ class _ThreadBackend:
 
 
 class _ProcessBackend:
-    """Process-pool execution: true parallelism across CPU cores."""
+    """Process-pool execution: true parallelism across CPU cores.
+
+    The backend survives worker death: a chunk whose future raises
+    (``BrokenProcessPool`` after a killed worker, ``TimeoutError`` after
+    a hang past ``policy.worker_timeout``, or an in-worker crash) is
+    requeued onto a freshly rebuilt pool, up to ``policy.worker_retries``
+    rebuilds per level.  If the pool keeps collapsing, the backend
+    degrades *permanently* to solving in-parent on the serial path —
+    same single solve code path, so the recovered marginals are
+    bit-identical to what a healthy pool would have produced.
+    """
 
     name = "process"
 
     def __init__(self, scheduler, jobs, blob):
         self.scheduler = scheduler
         self.jobs = jobs
+        self.blob = blob
+        self.policy = scheduler.settings.effective_policy()
+        self.failures = scheduler.inference.failures
+        #: Permanent in-parent fallback after repeated pool collapse.
+        self.serial_fallback = False
         if "fork" in multiprocessing.get_all_start_methods():
-            context = multiprocessing.get_context("fork")
+            self.context = multiprocessing.get_context("fork")
         else:  # pragma: no cover - non-POSIX fallback
-            context = multiprocessing.get_context()
-        self.pool = ProcessPoolExecutor(
-            max_workers=jobs,
-            mp_context=context,
+            self.context = multiprocessing.get_context()
+        self.pool = self._make_pool()
+
+    def _make_pool(self):
+        return ProcessPoolExecutor(
+            max_workers=self.jobs,
+            mp_context=self.context,
             initializer=_process_worker_init,
-            initargs=(blob,),
+            initargs=(self.blob,),
         )
+
+    def _kill_pool(self):
+        """Tear the pool down hard — hung workers never finish, so a
+        graceful shutdown would block forever."""
+        pool, self.pool = self.pool, None
+        if pool is None:
+            return
+        processes = list(getattr(pool, "_processes", {}).values())
+        for process in processes:
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - already-dead races
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - broken-pool races
+            pass
+
+    def _solve_in_parent(self, chunks, store, by_key):
+        """The last-resort path: solve a chunk's methods inline via the
+        scheduler's local entry — identical maths, zero processes."""
+        for chunk in chunks:
+            for key in chunk:
+                outcome = self.scheduler.solve_local(key, store)
+                by_key[outcome.key] = outcome
 
     def solve_level(self, keys, store):
         store_payload = store.to_payload(self.scheduler.key_of)
         # One chunk per worker bounds the per-level IPC round-trips.
-        chunks = [keys[i :: self.jobs] for i in range(self.jobs)]
-        futures = [
-            self.pool.submit(_process_solve_chunk, chunk, store_payload)
-            for chunk in chunks
-            if chunk
-        ]
+        chunks = [c for c in (keys[i :: self.jobs] for i in range(self.jobs)) if c]
         by_key = {}
-        for future in futures:
-            for outcome in future.result():
-                by_key[outcome.key] = outcome
+        timeout = self.policy.worker_timeout or None
+        if not self.policy.enabled:
+            futures = [
+                self.pool.submit(_process_solve_chunk, chunk, store_payload)
+                for chunk in chunks
+            ]
+            for future in futures:
+                for outcome in future.result():
+                    by_key[outcome.key] = outcome
+            return [by_key[key] for key in keys]
+        pending = chunks
+        rebuilds = 0
+        while pending:
+            if self.serial_fallback or self.pool is None:
+                self._solve_in_parent(pending, store, by_key)
+                break
+            submitted = [
+                (chunk, self.pool.submit(_process_solve_chunk, chunk,
+                                         store_payload))
+                for chunk in pending
+            ]
+            failed = []
+            first_error = None
+            for chunk, future in submitted:
+                try:
+                    for outcome in future.result(timeout=timeout):
+                        by_key[outcome.key] = outcome
+                except Exception as exc:
+                    failed.append(chunk)
+                    if first_error is None:
+                        first_error = exc
+            if not failed:
+                break
+            # Some chunk died or hung: the pool's workers are suspect
+            # either way (a BrokenProcessPool poisons every future; a
+            # hung worker never frees its slot), so rebuild from scratch.
+            self._kill_pool()
+            rebuilds += 1
+            requeued_keys = ",".join(k for chunk in failed for k in chunk)
+            if rebuilds > self.policy.worker_retries:
+                self.serial_fallback = True
+                self.failures.add(
+                    FailureRecord(
+                        stage="worker",
+                        key=requeued_keys,
+                        error=type(first_error).__name__,
+                        message="process pool collapsed %d times; running "
+                        "remaining methods in-parent (%s)"
+                        % (rebuilds, first_error),
+                        disposition="executor-degraded",
+                        retries=self.policy.worker_retries,
+                    )
+                )
+                self._solve_in_parent(failed, store, by_key)
+                break
+            self.failures.add(
+                FailureRecord(
+                    stage="worker",
+                    key=requeued_keys,
+                    error=type(first_error).__name__,
+                    message="worker failure (%s); pool rebuilt, %d method(s) "
+                    "requeued" % (first_error,
+                                  sum(len(c) for c in failed)),
+                    disposition="worker-restarted",
+                    retries=rebuilds,
+                )
+            )
+            self.pool = self._make_pool()
+            pending = failed
         return [by_key[key] for key in keys]
 
     def close(self):
-        self.pool.shutdown()
+        if self.pool is not None:
+            self.pool.shutdown()
 
 
 # ---------------------------------------------------------------------------
@@ -415,7 +563,11 @@ class LevelScheduler:
         for round_index in range(1, rounds + 1):
             round_changed = set()
             for level_index, level in enumerate(levels):
-                targets = [ref for ref in level if ref in dirty]
+                targets = [
+                    ref
+                    for ref in level
+                    if ref in dirty and ref in inference.pfgs
+                ]
                 if not targets:
                     continue
                 keys = [self.key_of[ref] for ref in targets]
@@ -449,6 +601,18 @@ class LevelScheduler:
         store = inference.summaries
         confidence = self.config.summary_confidence
         ref = self.table[outcome.key]
+        if outcome.quarantined:
+            # The method died during constraint generation: drop it from
+            # inference and give it a conservative empty boundary.  Its
+            # summaries/deposits are never touched, so neighbours solve
+            # exactly as if the method had no body.
+            inference.quarantine_method(ref, outcome.failures[0])
+            self._results[ref] = {}
+            return
+        if outcome.failures:
+            inference.failures.extend(outcome.failures)
+        if outcome.degraded:
+            stats.degraded += 1
         boundary = {
             slot_target: TargetMarginal.from_payload(payload)
             for slot_target, payload in outcome.boundary

@@ -18,6 +18,8 @@ from repro.core.infer import AnekInference, InferenceSettings
 from repro.java.parser import parse_compilation_unit
 from repro.java.symbols import resolve_program
 from repro.plural.checker import PluralChecker
+from repro.resilience.faults import maybe_fault
+from repro.resilience.report import FailureReport
 
 
 @dataclass
@@ -48,6 +50,15 @@ class PipelineResult:
     #: Persistent-cache counter movement for this run (a CacheStats
     #: delta), or None when the pipeline ran without a cache.
     cache_stats: Optional[object] = None
+    #: The resilience ledger: every isolation/retry/degradation event of
+    #: this run (empty on a clean run).
+    failures: FailureReport = field(default_factory=FailureReport)
+
+    @property
+    def degraded(self):
+        """True when any failure changed the run's output (quarantined
+        units/methods, prior-only solves, skipped stages)."""
+        return self.failures.has_degradation
 
     @property
     def inferred_annotation_count(self):
@@ -84,6 +95,61 @@ class AnekPipeline:
         #: An :class:`repro.cache.AnalysisCache`, or None (no persistence).
         self.cache = cache
 
+    def _parse_units(self, sources, result):
+        """Parse every source under isolation: a unit whose lex/parse
+        crashes is quarantined (``unit:<index>``) and the rest proceed."""
+        policy = self.settings.effective_policy()
+        units = []
+        parse_hits = 0
+        for index, source in enumerate(sources):
+            unit_key = "unit:%d" % index
+            hits_before = (
+                self.cache.stats.parse_hits if self.cache is not None else 0
+            )
+            try:
+                if policy.enabled:
+                    maybe_fault("parse", unit_key)
+                if self.cache is not None:
+                    unit = self.cache.parse(source)
+                else:
+                    unit = parse_compilation_unit(source)
+            except Exception as exc:
+                if not policy.enabled:
+                    raise
+                result.failures.record(
+                    "parse", unit_key, exc, "unit-quarantined"
+                )
+                continue
+            if self.cache is not None:
+                parse_hits += self.cache.stats.parse_hits - hits_before
+            units.append(unit)
+        return units, parse_hits
+
+    def _resolve_units(self, units, result):
+        """Resolve under isolation: on failure, re-resolve incrementally
+        and quarantine exactly the units resolution chokes on.
+
+        The incremental pass is O(n^2) but runs only on the failure path;
+        the healthy path stays a single ``resolve_program`` call."""
+        policy = self.settings.effective_policy()
+        try:
+            return resolve_program(units), units
+        except Exception:
+            if not policy.enabled:
+                raise
+        kept = []
+        program = resolve_program([])
+        for index, unit in enumerate(units):
+            try:
+                program = resolve_program(kept + [unit])
+            except Exception as exc:
+                result.failures.record(
+                    "resolve", "unit:%d" % index, exc, "unit-quarantined"
+                )
+                continue
+            kept.append(unit)
+        return program, kept
+
     def run_on_sources(self, sources):
         """Run the pipeline over raw Java source strings."""
         result = PipelineResult()
@@ -91,17 +157,13 @@ class AnekPipeline:
             self.cache.stats.snapshot() if self.cache is not None else None
         )
         start = time.perf_counter()
-        if self.cache is not None:
-            units = [self.cache.parse(source) for source in sources]
-            moved = self.cache.stats.delta(run_before)
-            cache_detail = ", cache %d/%d units" % (
-                moved.parse_hits,
-                len(units),
-            )
-        else:
-            units = [parse_compilation_unit(source) for source in sources]
-            cache_detail = ""
-        program = resolve_program(units)
+        units, parse_hits = self._parse_units(sources, result)
+        cache_detail = (
+            ", cache %d/%d units" % (parse_hits, len(units))
+            if self.cache is not None
+            else ""
+        )
+        program, units = self._resolve_units(units, result)
         result.program = program
         result.stages.append(
             StageTrace(
@@ -133,7 +195,11 @@ class AnekPipeline:
             self.cache.stats.snapshot() if self.cache is not None else None
         )
         inference = AnekInference(
-            program, self.config, self.settings, cache=self.cache
+            program,
+            self.config,
+            self.settings,
+            cache=self.cache,
+            failures=result.failures,
         )
         marginals = inference.run()
         result.inference_stats = inference.stats
@@ -209,27 +275,40 @@ class AnekPipeline:
                 "%d methods annotated" % count_nonempty(result.specs),
             )
         )
+        policy = self.settings.effective_policy()
         if self.apply_annotations:
             start = time.perf_counter()
-            apply_specs(program, result.specs)
-            result.annotated_sources = render_annotated_sources(program)
-            result.stages.append(
-                StageTrace(
-                    "applier",
-                    time.perf_counter() - start,
-                    "%d source files rendered" % len(result.annotated_sources),
+            try:
+                apply_specs(program, result.specs)
+                result.annotated_sources = render_annotated_sources(program)
+                detail = "%d source files rendered" % len(
+                    result.annotated_sources
                 )
+            except Exception as exc:
+                if not policy.enabled:
+                    raise
+                result.failures.record(
+                    "applier", "program", exc, "stage-skipped"
+                )
+                detail = "skipped (%s)" % type(exc).__name__
+            result.stages.append(
+                StageTrace("applier", time.perf_counter() - start, detail)
             )
         if self.run_checker:
             start = time.perf_counter()
-            checker = PluralChecker(program)
-            result.warnings = checker.check_program()
-            result.stages.append(
-                StageTrace(
-                    "plural-check",
-                    time.perf_counter() - start,
-                    "%d warnings" % len(result.warnings),
+            try:
+                checker = PluralChecker(program)
+                result.warnings = checker.check_program()
+                detail = "%d warnings" % len(result.warnings)
+            except Exception as exc:
+                if not policy.enabled:
+                    raise
+                result.failures.record(
+                    "plural-check", "program", exc, "stage-skipped"
                 )
+                detail = "skipped (%s)" % type(exc).__name__
+            result.stages.append(
+                StageTrace("plural-check", time.perf_counter() - start, detail)
             )
         return result
 

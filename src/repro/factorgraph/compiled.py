@@ -274,14 +274,17 @@ class CompiledGraph:
         return max_delta
 
     def _marginals(self):
+        """(marginals dict, finite flag) — finiteness is checked before
+        normalization, which would mask NaN/inf rows as uniform."""
         beliefs = self.priors.copy()
         if len(self._active):
             beliefs[self._active] = self._segment_products()
+        finite = bool(np.isfinite(beliefs).all())
         beliefs = self._normalize_rows(beliefs, self._var_uniform)
         return {
             name: beliefs[position, : self.cards[position]].copy()
             for position, name in enumerate(self.names)
-        }
+        }, finite
 
     def _reset_messages(self):
         # Prior rows reflect the (possibly updated) prior matrix; message
@@ -308,8 +311,11 @@ class CompiledGraph:
                 if max_delta < tolerance:
                     converged = True
                     break
-            marginals = self._marginals()
-        return SumProductResult(marginals, iterations, converged, max_delta)
+            marginals, finite = self._marginals()
+        diverged = not finite or not np.isfinite(max_delta)
+        return SumProductResult(
+            marginals, iterations, converged, max_delta, diverged=diverged
+        )
 
 
 def compile_graph(graph):

@@ -18,11 +18,16 @@ import numpy as np
 class SumProductResult:
     """Marginals plus convergence metadata."""
 
-    def __init__(self, marginals, iterations, converged, max_delta):
+    def __init__(self, marginals, iterations, converged, max_delta,
+                 diverged=False):
         self.marginals = marginals
         self.iterations = iterations
         self.converged = converged
         self.max_delta = max_delta
+        #: True when the engine observed NaN/inf state — a non-finite
+        #: message delta or a non-finite pre-normalization belief.  The
+        #: resilience guard treats a diverged result as a failed attempt.
+        self.diverged = diverged
 
     def marginal(self, variable_name):
         return self.marginals[variable_name]
@@ -118,12 +123,19 @@ def run_sum_product(graph, max_iters=50, tolerance=1e-6, damping=0.0,
                 break
 
     marginals = {}
+    # NaN/inf detection: normalization masks non-finite beliefs (they
+    # fall back to uniform), so divergence is checked *before* it.
+    diverged = not np.isfinite(max_delta)
     for variable in variables:
         belief = variable.prior.copy()
         for factor_index in neighbors_of[variable.name]:
             belief = belief * factor_to_var[(factor_index, variable.name)]
+        if not np.isfinite(belief).all():
+            diverged = True
         marginals[variable.name] = _normalize(belief)
-    return SumProductResult(marginals, iterations, converged, max_delta)
+    return SumProductResult(
+        marginals, iterations, converged, max_delta, diverged=diverged
+    )
 
 
 def run_max_product(graph, max_iters=50, tolerance=1e-6, damping=0.0):

@@ -380,6 +380,10 @@ class Table5Row:
     solve_seconds: float = 0.0
     #: Persistent-cache hit ratio for this run, or None (cache off).
     cache_ratio: Optional[float] = None
+    #: Resilience ledger: total failure events / output-changing ones
+    #: (quarantines + prior-only degradations) for this run.
+    failures: int = 0
+    degraded: int = 0
 
 
 @dataclass
@@ -472,6 +476,8 @@ def table5_parallel(corpus_spec=None, jobs=0, settings=None, repeats=1,
                     if cache_stats is not None
                     else None
                 ),
+                failures=len(pipeline_result.failures),
+                degraded=len(pipeline_result.failures.degraded()),
             )
         )
     reference_specs = specs_by_executor["serial"]
@@ -480,7 +486,7 @@ def table5_parallel(corpus_spec=None, jobs=0, settings=None, repeats=1,
     table = Table(
         "Table 5. ANEK-INFER executors on the synthetic PMD corpus.",
         ["Executor", "Time", "Build", "Kernel", "Speedup", "Solves",
-         "Annotations", "Cache", "Same Specs"],
+         "Annotations", "Cache", "Failures", "Same Specs"],
     )
     for row in result.rows:
         table.add_row(
@@ -494,6 +500,9 @@ def table5_parallel(corpus_spec=None, jobs=0, settings=None, repeats=1,
             "off"
             if row.cache_ratio is None
             else "%.0f%%" % (100.0 * row.cache_ratio),
+            "none"
+            if not row.failures
+            else "%d (%d degraded)" % (row.failures, row.degraded),
             "yes" if row.identical else "no",
         )
     result.table = table

@@ -1,0 +1,45 @@
+"""Fault tolerance for the ANEK pipeline.
+
+The paper's pitch (§3.4) is that inference is probabilistic and
+*forgiving*: partial or imperfect evidence still yields usable specs.
+This package makes the runtime match that story — one malformed
+compilation unit, one diverging BP solve, or one dead process-pool
+worker degrades only its own corner of the corpus instead of aborting
+the run:
+
+* :mod:`repro.resilience.report` — the structured failure ledger
+  (:class:`FailureRecord` / :class:`FailureReport`) surfaced on
+  ``PipelineResult.failure_report`` and ``--fail-report``;
+* :mod:`repro.resilience.policy` — :class:`ResiliencePolicy`, the knobs
+  of the degradation ladder (deadlines, retry counts, worker recovery);
+* :mod:`repro.resilience.guard` — the per-solve guard: deadline and
+  NaN/inf detection, retry with escalating damping, engine fallback
+  ``compiled → loopy → prior-only``;
+* :mod:`repro.resilience.faults` — the deterministic fault-injection
+  harness (seeded plans that raise/delay/corrupt/kill at named stages,
+  installable in-process or via the ``REPRO_FAULTS`` env hook) that
+  makes every recovery path above testable in CI.
+"""
+
+from repro.resilience.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    clear_fault_plan,
+    install_fault_plan,
+    maybe_fault,
+)
+from repro.resilience.policy import ResiliencePolicy
+from repro.resilience.report import FailureRecord, FailureReport
+
+__all__ = [
+    "FailureRecord",
+    "FailureReport",
+    "ResiliencePolicy",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "install_fault_plan",
+    "clear_fault_plan",
+    "maybe_fault",
+]

@@ -80,4 +80,4 @@ class TestExplainCli:
         path = tmp_path / "D.java"
         path.write_text(SOURCE)
         code = cli_main(["explain", str(path), "D.missing"], out=io.StringIO())
-        assert code == 2
+        assert code == 3  # usage error (2 = completed with quarantines)

@@ -200,7 +200,7 @@ class TestCli:
 
     def test_pfg_unknown_method(self, demo_file):
         code, _ = self.run_cli(["pfg", demo_file, "Demo.missing"])
-        assert code == 2
+        assert code == 3  # usage error (2 = completed with quarantines)
 
     def test_figure_command(self):
         code, output = self.run_cli(["figure", "4"])

@@ -65,6 +65,9 @@ class CacheStats:
     #: Entries that deserialized but failed schema/shape validation —
     #: quarantined (deleted) exactly like corrupt ones.
     schema_invalid: int = 0
+    #: Writes that failed with an OSError (ENOSPC, permissions): each
+    #: degraded to a miss on the next read instead of aborting the run.
+    store_errors: int = 0
     #: Methods whose static fingerprint changed since the manifest run.
     invalidated_methods: int = 0
     #: Invalidated methods plus their transitive callers (SCC cone).
@@ -129,6 +132,11 @@ class CacheStats:
                 100.0 * self.hit_ratio(),
             )
         )
+        if self.store_errors:
+            lines.append(
+                "  %d write error(s) — persistence degraded to read-only"
+                % self.store_errors
+            )
         if self.uncacheable:
             lines.append("  (disabled: config is not fingerprintable)")
         return "\n".join(lines)
@@ -168,6 +176,16 @@ class AnalysisCache:
         self.stats.corrupt_entries += self.store.corrupt_count - before
         return payload
 
+    def save(self, key, payload):
+        """Persist via the store, surfacing write failures as a counted
+        ``store_errors`` stat (the store itself degrades to no-persist)."""
+        self.store.save(key, payload)
+        self.stats.store_errors = self.store.store_errors
+
+    def save_manifest(self, manifest):
+        self.store.save_manifest(manifest)
+        self.stats.store_errors = self.store.store_errors
+
     # -- layer 1: parsing ------------------------------------------------------
 
     def parse(self, source):
@@ -196,7 +214,7 @@ class AnalysisCache:
             return unit
         self.stats.parse_misses += 1
         unit = parse_compilation_unit(source)
-        self.store.save(key, unit)
+        self.save(key, unit)
         return unit
 
     # -- binding to one resolved program --------------------------------------
@@ -286,7 +304,7 @@ class BoundCache:
 
     def store_frontend(self, method_ref, pfg, callees):
         key = self.cache.key("pfg", self.method_fingerprint(method_ref))
-        self.store.save(
+        self.cache.save(
             key,
             {
                 "pfg": pfg_to_payload(pfg, self.key_of),
@@ -367,7 +385,7 @@ class BoundCache:
                 for callee, slot, target, site_key, marginal in deposits
             ],
         }
-        self.store.save(key, payload)
+        self.cache.save(key, payload)
 
     # -- layer 3b: whole-run final results -------------------------------------
 
@@ -430,7 +448,7 @@ class BoundCache:
             ],
             "store": store_payload,
         }
-        self.store.save(self.final_key(schedule_kind), payload)
+        self.cache.save(self.final_key(schedule_kind), payload)
 
     # -- the manifest: invalidation accounting + dirty cone --------------------
 
@@ -485,7 +503,7 @@ class BoundCache:
         return cone
 
     def save_manifest(self, methods):
-        self.store.save_manifest(
+        self.cache.save_manifest(
             {
                 "schema": self.cache.schema_tag,
                 "version": repro.__version__,

@@ -27,6 +27,10 @@ class ArtifactStore:
         self.root = root
         #: Entries that existed but could not be deserialized.
         self.corrupt_count = 0
+        #: Writes that failed with an OSError (ENOSPC, permissions, a
+        #: yanked volume) — each degraded to a miss-on-next-read instead
+        #: of aborting the run.
+        self.store_errors = 0
         self._write_disabled = False
 
     # -- keyed artifacts ------------------------------------------------------
@@ -124,6 +128,10 @@ class ArtifactStore:
                     pass
                 raise
         except OSError as exc:
+            # ENOSPC/EROFS mid-run must degrade to a counted miss, not
+            # abort the analysis: further writes are disabled, reads keep
+            # serving whatever was persisted before the disk filled.
+            self.store_errors += 1
             self._write_disabled = True
             warnings.warn(
                 "analysis cache is not writable (%s: %s); continuing "

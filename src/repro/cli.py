@@ -12,20 +12,27 @@ extraction and the worklist.  ``infer`` keeps a persistent analysis
 cache in ``.anek-cache/`` (``--cache-dir`` to move it, ``--no-cache`` to
 disable, ``--cache-stats`` to print hit/miss counters).
 
+``infer --run-dir DIR`` makes the run durable (journal + checkpoints);
+SIGTERM/SIGINT then stop it gracefully at the next checkpoint barrier
+and ``infer --resume DIR`` continues it bit-identically.
+
 Exit codes: 0 = clean run; 1 = ``check`` found warnings; 2 = the run
 completed but quarantined/degraded some work (see ``--fail-report``);
 3 = usage error; 4 = fatal internal error (one-line summary on stderr,
-full traceback with ``--debug``).
+full traceback with ``--debug``); 5 = interrupted at a checkpoint —
+resumable with ``--resume``.
 """
 
 import argparse
 import sys
+from contextlib import nullcontext
 
 #: CLI exit codes (0 = clean; ``check`` uses 1 for "warnings found").
 EXIT_OK = 0
 EXIT_DEGRADED = 2
 EXIT_USAGE = 3
 EXIT_FATAL = 4
+EXIT_INTERRUPTED = 5
 
 from repro.cache import DEFAULT_CACHE_DIR
 from repro.core import AnekPipeline, InferenceSettings
@@ -66,10 +73,8 @@ def _build_policy(args):
     )
 
 
-def _emit_fail_report(result, args, out):
-    """The resilience epilogue: summary line, optional JSON report, and
-    the run's exit code."""
-    failures = result.failures
+def _write_fail_report(failures, args, out):
+    """Print the failure ledger and honour ``--fail-report``."""
     if failures:
         print("", file=out)
         print(failures.summary_line(), file=out)
@@ -83,11 +88,25 @@ def _emit_fail_report(result, args, out):
         else:
             with open(destination, "w") as handle:
                 handle.write(payload + "\n")
+
+
+def _emit_fail_report(result, args, out):
+    """The resilience epilogue: summary line, optional JSON report, and
+    the run's exit code."""
+    failures = result.failures
+    _write_fail_report(failures, args, out)
     return EXIT_DEGRADED if failures.has_degradation else EXIT_OK
 
 
 def cmd_infer(args, out):
+    from repro.resilience.checkpoint import (
+        ResumeError,
+        RunInterrupted,
+        graceful_shutdown,
+    )
+
     executor, jobs = resolve_executor_args(args.executor, args.jobs)
+    run_dir = args.resume or args.run_dir
     settings = InferenceSettings(
         threshold=args.threshold,
         max_worklist_iters=args.max_iters,
@@ -95,6 +114,10 @@ def cmd_infer(args, out):
         jobs=jobs,
         engine=args.engine,
         policy=_build_policy(args),
+        run_dir=run_dir,
+        resume=args.resume is not None,
+        checkpoint_every=args.checkpoint_every,
+        max_rss_mb=args.max_rss_mb,
     )
     cache = None
     if args.use_cache:
@@ -102,7 +125,29 @@ def cmd_infer(args, out):
 
         cache = AnalysisCache(cache_dir=args.cache_dir)
     pipeline = AnekPipeline(settings=settings, cache=cache)
-    result = pipeline.run_on_sources(_read_sources(args.files, args.api))
+    # SIGTERM/SIGINT drain-and-checkpoint only makes sense with a run
+    # directory to checkpoint into; without one, default handling stays.
+    shutdown = graceful_shutdown() if run_dir else nullcontext()
+    try:
+        with shutdown:
+            result = pipeline.run_on_sources(
+                _read_sources(args.files, args.api)
+            )
+    except RunInterrupted as exc:
+        print(
+            "interrupted: resumable checkpoint written to %s" % exc.run_dir,
+            file=out,
+        )
+        print(
+            "resume with: python -m repro infer --resume %s ..." % exc.run_dir,
+            file=out,
+        )
+        if exc.failures is not None:
+            _write_fail_report(exc.failures, args, out)
+        return EXIT_INTERRUPTED
+    except ResumeError as exc:
+        print("repro: error: %s" % exc, file=sys.stderr)
+        return EXIT_USAGE
     print(result.describe_stages(), file=out)
     if args.cache_stats and cache is not None:
         print("", file=out)
@@ -322,6 +367,21 @@ def _nonnegative_count(flag):
     return parse
 
 
+def _positive_count(flag):
+    def parse(text):
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                "expected an integer, got %r" % text
+            )
+        if value < 1:
+            raise argparse.ArgumentTypeError("%s must be >= 1" % flag)
+        return value
+
+    return parse
+
+
 class _Parser(argparse.ArgumentParser):
     """argparse with the repo's exit-code convention: usage errors exit
     with :data:`EXIT_USAGE` instead of argparse's default 2 (which here
@@ -396,6 +456,22 @@ def build_parser():
                        type=_nonnegative_count("--worker-retries"), default=2,
                        help="pool rebuilds before degrading to in-parent "
                             "execution (default: %(default)s)")
+    infer.add_argument("--run-dir", metavar="DIR", default=None,
+                       help="durable run directory (journal + checkpoints); "
+                            "SIGTERM/SIGINT then stop at a checkpoint with "
+                            "exit code 5 and the run resumes via --resume")
+    infer.add_argument("--resume", metavar="DIR", default=None,
+                       help="resume an interrupted run from its run "
+                            "directory (same sources and flags required; "
+                            "implies --run-dir DIR)")
+    infer.add_argument("--checkpoint-every", metavar="N",
+                       type=_positive_count("--checkpoint-every"), default=1,
+                       help="checkpoint barriers between compacted snapshots "
+                            "(default: %(default)s = every barrier)")
+    infer.add_argument("--max-rss-mb", metavar="MB",
+                       type=_nonnegative_count("--max-rss-mb"), default=0,
+                       help="soft RSS budget: checkpoint, then shed cached "
+                            "models when exceeded (0 = no budget)")
     infer.set_defaults(run=cmd_infer)
 
     check = sub.add_parser("check", help="run the PLURAL checker")

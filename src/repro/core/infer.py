@@ -39,7 +39,29 @@ from repro.core.summaries import (
 )
 from repro.resilience.faults import maybe_fault
 from repro.resilience.policy import ResiliencePolicy
-from repro.resilience.report import FailureReport
+from repro.resilience.report import FailureRecord, FailureReport
+
+
+def _rekey_evidence_to_refs(store, table):
+    """Rebind a restored store's evidence site keys to live MethodRefs.
+
+    Snapshots canonicalize site keys to ``(method key, index)``, but the
+    worklist engine deposits evidence keyed by ``(MethodRef, index)`` —
+    left as strings, a resumed run's later deposits would create *new*
+    bucket entries beside the restored ones instead of overwriting them,
+    silently double-counting votes.  Bucket insertion order (the vote
+    order of the geometric-mean aggregation) is preserved.
+    """
+    rekeyed = {}
+    for header, bucket in store._evidence.items():
+        new_bucket = {}
+        for (owner, index), marginal in bucket.items():
+            if isinstance(owner, str) and owner in table:
+                new_bucket[(table[owner], index)] = marginal
+            else:
+                new_bucket[(owner, index)] = marginal
+        rekeyed[header] = new_bucket
+    store._evidence = rekeyed
 
 #: The default fault-tolerance posture: isolation and degradation on.
 _DEFAULT_POLICY = ResiliencePolicy()
@@ -74,6 +96,20 @@ class InferenceSettings:
     #: zero faults a resilient run is bit-identical to a non-resilient
     #: one.
     policy: object = None
+    #: Durable run directory (journal + checkpoints) for crash-consistent
+    #: resume, or None (no run-layer persistence).  Like ``policy``,
+    #: excluded from cache config digests: checkpointing never changes
+    #: results.
+    run_dir: str = None
+    #: True to resume an interrupted run from ``run_dir`` instead of
+    #: starting fresh.
+    resume: bool = False
+    #: Checkpoint barriers between compacted snapshots (1 = every
+    #: barrier; higher trades resume granularity for snapshot I/O).
+    checkpoint_every: int = 1
+    #: Soft RSS budget in MiB: exceeded → checkpoint, then shed the
+    #: in-memory model cache (0 = no budget).
+    max_rss_mb: int = 0
 
     def effective_policy(self):
         return self.policy if self.policy is not None else _DEFAULT_POLICY
@@ -98,6 +134,16 @@ class InferenceSettings:
                 "unknown engine %r (expected one of %s)"
                 % (self.engine, ", ".join(ENGINES))
             )
+        if self.checkpoint_every < 1:
+            raise ValueError(
+                "checkpoint_every must be >= 1, got %d" % self.checkpoint_every
+            )
+        if self.max_rss_mb < 0:
+            raise ValueError(
+                "max_rss_mb must be >= 0, got %d" % self.max_rss_mb
+            )
+        if self.resume and not self.run_dir:
+            raise ValueError("resume requires a run_dir")
 
     def resolved_max_iters(self, method_count):
         if self.max_worklist_iters > 0:
@@ -148,6 +194,19 @@ class InferenceStats:
     quarantined: int = 0
     #: Solves that fell to the prior-only floor of the retry ladder.
     degraded: int = 0
+    #: Durable-run bookkeeping: compacted snapshots written; True when
+    #: the run continued from an earlier run directory; True when a
+    #: graceful shutdown stopped it at a checkpoint barrier.
+    checkpoints: int = 0
+    resumed: bool = False
+    interrupted: bool = False
+    #: Soft-memory governance: model-cache sheds and the peak RSS (MiB)
+    #: observed at barriers (0.0 when no budget was set).
+    sheds: int = 0
+    rss_peak_mb: float = 0.0
+    #: Journal/snapshot writes that failed (ENOSPC etc.) and degraded
+    #: the run to no-persist.
+    persist_errors: int = 0
 
 
 class AnekInference:
@@ -276,22 +335,58 @@ class AnekInference:
     def run(self):
         """Run inference; returns {method_ref: boundary marginals dict}."""
         start = time.perf_counter()
-        restored = self._restore_final()
-        if restored is not None:
+        manager = self._checkpoint_manager()
+        resume_state = manager.resume_state if manager is not None else None
+        if resume_state is None:
+            restored = self._restore_final()
+            if restored is not None:
+                self.stats.elapsed_seconds = time.perf_counter() - start
+                if manager is not None:
+                    manager.finalize(
+                        lambda: manager.encode(restored, complete=True)
+                    )
+                return restored
+        else:
+            self.stats.resumed = True
+        if resume_state is not None and resume_state.get("complete"):
+            # The earlier run already finalized: its terminal state *is*
+            # this run's result (same program/config/schedule, enforced
+            # by the resume validation).
+            results, _ = self._apply_resume_state(resume_state)
+            self.stats.resumed = True
             self.stats.elapsed_seconds = time.perf_counter() - start
-            return restored
+            if manager is not None:
+                manager.close()
+            return results
         if self.settings.executor != "worklist":
             from repro.core.parallel import run_scheduled
 
-            results = run_scheduled(self)
+            results = run_scheduled(
+                self, manager=manager, resume_state=resume_state
+            )
             self._persist_final(results)
+            if manager is not None:
+                manager.finalize(lambda: manager.encode(results, complete=True))
             return results
         methods = self._initialize()
         worklist = deque(methods)
         queued = set(methods)
-        max_iters = self.settings.resolved_max_iters(len(methods))
         results = {}
         count = 0
+        if resume_state is not None:
+            results, extra = self._apply_resume_state(resume_state)
+            self.stats.resumed = True
+            table = self.program.method_key_table()
+            worklist = deque(
+                table[key]
+                for key in extra.get("worklist", ())
+                if key in table and table[key] in self.pfgs
+            )
+            queued = set(worklist)
+            count = extra.get("count", 0)
+        # Quarantines shrink ``pfgs``, so its size is the surviving
+        # method count on both the fresh and the resumed path.
+        max_iters = self.settings.resolved_max_iters(len(self.pfgs))
         while worklist and count < max_iters:
             count += 1
             method_ref = worklist.popleft()  # CHOOSE(W)
@@ -301,10 +396,91 @@ class AnekInference:
                 if dependent not in queued and dependent in self.pfgs:
                     queued.add(dependent)
                     worklist.append(dependent)
+            if manager is not None:
+                self.stats.solves = count
+                extra = {
+                    "worklist": [
+                        self.models.site_key(ref) for ref in worklist
+                    ],
+                    "count": count,
+                }
+                manager.barrier(
+                    "visit:%d:%s" % (count, self.models.site_key(method_ref)),
+                    lambda extra=extra: manager.encode(results, extra=extra),
+                )
         self.stats.solves = count
         self.stats.elapsed_seconds = time.perf_counter() - start
         self._persist_final(results)
+        if manager is not None:
+            manager.finalize(lambda: manager.encode(results, complete=True))
         return results
+
+    def _checkpoint_manager(self):
+        """The durable run layer, or None when ``run_dir`` is unset."""
+        if not self.settings.run_dir:
+            return None
+        from repro.resilience.checkpoint import CheckpointManager
+
+        if self.settings.resume:
+            return CheckpointManager.resume(self.settings.run_dir, self)
+        return CheckpointManager.start(self.settings.run_dir, self)
+
+    def _apply_resume_state(self, state):
+        """Restore a snapshot's state into this run; returns
+        ``(results, engine_extra)``.
+
+        Called *after* ``_initialize`` (the resumed process must rebuild
+        PFGs and the call graph from source anyway): the ledger and the
+        quarantine set are restored wholesale so the failure history is
+        contiguous across the resume boundary and a method quarantined
+        before the crash stays quarantined even when its fault does not
+        recur.
+        """
+        from dataclasses import fields as dataclass_fields
+
+        from repro.core.summaries import TargetMarginal
+
+        table = self.program.method_key_table()
+        resumed_from = self.failures.resumed_from
+        self.failures.records[:] = [
+            FailureRecord(**record) for record in state["failures"]
+        ]
+        self.failures.resumed_from = resumed_from
+        self.quarantined = {}
+        self.stats.quarantined = 0
+        for key, record in state["quarantined"]:
+            ref = table.get(key)
+            if ref is None:
+                continue
+            self.quarantined[ref] = FailureRecord(**record)
+            self.pfgs.pop(ref, None)
+            self.method_set.discard(ref)
+        snapshot_stats = state["stats"]
+        for field_info in dataclass_fields(self.stats):
+            if field_info.name in snapshot_stats:
+                setattr(
+                    self.stats, field_info.name, snapshot_stats[field_info.name]
+                )
+        self.stats.constraint_counts = dict(self.stats.constraint_counts)
+        self.stats.schedule = list(self.stats.schedule)
+        # Restored stats describe the pre-crash run, where resumed was
+        # False; this run *is* a resume.
+        self.stats.resumed = True
+        self.stats.interrupted = False
+        store = SummaryStore.from_payload(state["store"], table)
+        if state["engine"] == "worklist":
+            _rekey_evidence_to_refs(store, table)
+        self.summaries = store
+        results = {}
+        for key, boundary in state["results"]:
+            ref = table.get(key)
+            if ref is None:
+                continue
+            results[ref] = {
+                tuple(slot_target): TargetMarginal.from_payload(payload)
+                for slot_target, payload in boundary
+            }
+        return results, state.get("extra", {})
 
     def _schedule_kind(self):
         """Distinguishes final-result artifacts: the worklist and the

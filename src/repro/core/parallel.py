@@ -441,6 +441,11 @@ class _ProcessBackend:
                     retries=rebuilds,
                 )
             )
+            # The orchestrator-kill site of the chaos harness: a
+            # ``killproc`` here SIGKILLs the parent mid-recovery, after
+            # the old pool is torn down but before its replacement
+            # exists — the worst moment for a preemption to land.
+            maybe_fault("worker-recover", requeued_keys)
             self.pool = self._make_pool()
             pending = failed
         return [by_key[key] for key in keys]
@@ -521,12 +526,23 @@ class LevelScheduler:
 
     # -- the schedule ----------------------------------------------------------
 
-    def run(self):
+    def run(self, manager=None, resume_state=None):
         inference = self.inference
         settings = self.settings
         stats = inference.stats
         start = time.perf_counter()
         methods = inference._initialize()
+        self._results = {}
+        resume_extra = None
+        if resume_state is not None:
+            # Restore *before* building the levels: a method the earlier
+            # run quarantined at the PFG stage must be absent from the
+            # condensation (as it was then), keeping the round budget and
+            # the schedule identical across the resume boundary.
+            self._results, resume_extra = inference._apply_resume_state(
+                resume_state
+            )
+            methods = [ref for ref in methods if ref in inference.pfgs]
         results = {}
         if methods:
             levels, scc_count = condensation_levels(
@@ -539,7 +555,7 @@ class LevelScheduler:
             jobs = resolve_jobs(settings.jobs)
             backend = self.make_backend(jobs)
             try:
-                self._run_rounds(levels, backend)
+                self._run_rounds(levels, backend, manager, resume_extra)
             finally:
                 backend.close()
             stats.executor = backend.name
@@ -551,18 +567,45 @@ class LevelScheduler:
         stats.elapsed_seconds = time.perf_counter() - start
         return results
 
-    def _run_rounds(self, levels, backend):
+    def _run_rounds(self, levels, backend, manager=None, resume=None):
         inference = self.inference
         stats = inference.stats
         store = inference.summaries
         method_count = sum(len(level) for level in levels)
         max_iters = self.settings.resolved_max_iters(method_count)
         rounds = max(1, math.ceil(max_iters / max(method_count, 1)))
-        self._results = {}
         dirty = set(ref for level in levels for ref in level)
-        for round_index in range(1, rounds + 1):
-            round_changed = set()
+        start_round, resume_level = 1, None
+        round_changed_seed = None
+        if resume:
+            # Snapshots record the position *after* level (round, level)
+            # merged, plus both dirty sets; re-entering there re-executes
+            # the remaining levels exactly as the uninterrupted run
+            # would have (merges happen in sorted method-key order, so
+            # the schedule is the only state that matters).
+            start_round = resume["round"]
+            resume_level = resume["level"]
+            dirty = {
+                self.table[key] for key in resume["dirty"] if key in self.table
+            }
+            round_changed_seed = {
+                self.table[key]
+                for key in resume["round_changed"]
+                if key in self.table
+            }
+        for round_index in range(start_round, rounds + 1):
+            if round_changed_seed is not None:
+                round_changed = round_changed_seed
+                round_changed_seed = None
+            else:
+                round_changed = set()
             for level_index, level in enumerate(levels):
+                if (
+                    resume_level is not None
+                    and round_index == start_round
+                    and level_index <= resume_level
+                ):
+                    continue
                 targets = [
                     ref
                     for ref in level
@@ -584,6 +627,27 @@ class LevelScheduler:
                         "seconds": time.perf_counter() - level_start,
                     }
                 )
+                if manager is not None:
+                    extra = {
+                        "round": round_index,
+                        "level": level_index,
+                        "dirty": sorted(
+                            self.key_of[ref]
+                            for ref in dirty
+                            if ref in self.key_of
+                        ),
+                        "round_changed": sorted(
+                            self.key_of[ref]
+                            for ref in round_changed
+                            if ref in self.key_of
+                        ),
+                    }
+                    manager.barrier(
+                        "round:%d:level:%d" % (round_index, level_index),
+                        lambda extra=extra: manager.encode(
+                            self._results, extra=extra
+                        ),
+                    )
             stats.rounds = round_index
             dirty = round_changed
             if not dirty:
@@ -653,7 +717,11 @@ class LevelScheduler:
                     round_changed.add(callee)
 
 
-def run_scheduled(inference):
+def run_scheduled(inference, manager=None, resume_state=None):
     """Entry point used by :meth:`AnekInference.run` for non-worklist
-    executors."""
-    return LevelScheduler(inference).run()
+    executors.  ``manager``/``resume_state`` thread the durable run
+    layer (checkpoint barriers after each level's merge, resume from a
+    recorded ``(round, level)`` position)."""
+    return LevelScheduler(inference).run(
+        manager=manager, resume_state=resume_state
+    )

@@ -248,6 +248,12 @@ class AnekPipeline:
                 stats.levels,
                 stats.rounds,
             )
+        if stats.resumed:
+            detail += ", resumed"
+        if stats.checkpoints:
+            detail += ", %d checkpoint(s)" % stats.checkpoints
+        if stats.sheds:
+            detail += ", %d memory shed(s)" % stats.sheds
         result.stages.append(
             StageTrace("anek-infer", time.perf_counter() - start, detail)
         )

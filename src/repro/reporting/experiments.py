@@ -384,6 +384,9 @@ class Table5Row:
     #: (quarantines + prior-only degradations) for this run.
     failures: int = 0
     degraded: int = 0
+    #: True when this row's run was resumed from a checkpoint directory
+    #: (crash/SIGTERM recovery) rather than executed start-to-finish.
+    resumed: bool = False
 
 
 @dataclass
@@ -410,7 +413,10 @@ def table5_parallel(corpus_spec=None, jobs=0, settings=None, repeats=1,
     worklist row legitimately reads False when its different schedule
     changed a borderline marginal).  Passing an
     :class:`repro.cache.AnalysisCache` runs every executor against it
-    and adds its hit ratio to the report.
+    and adds its hit ratio to the report.  A run that was resumed from a
+    checkpoint directory is flagged in the Failures column — resumed
+    runs are bit-identical to uninterrupted ones, so the note is
+    provenance, not a caveat.
     """
     from repro.corpus import generate_pmd_corpus
 
@@ -478,6 +484,10 @@ def table5_parallel(corpus_spec=None, jobs=0, settings=None, repeats=1,
                 ),
                 failures=len(pipeline_result.failures),
                 degraded=len(pipeline_result.failures.degraded()),
+                resumed=bool(
+                    getattr(stats, "resumed", False)
+                    or pipeline_result.failures.resumed_from
+                ),
             )
         )
     reference_specs = specs_by_executor["serial"]
@@ -500,9 +510,12 @@ def table5_parallel(corpus_spec=None, jobs=0, settings=None, repeats=1,
             "off"
             if row.cache_ratio is None
             else "%.0f%%" % (100.0 * row.cache_ratio),
-            "none"
-            if not row.failures
-            else "%d (%d degraded)" % (row.failures, row.degraded),
+            (
+                "none"
+                if not row.failures
+                else "%d (%d degraded)" % (row.failures, row.degraded)
+            )
+            + (", resumed" if row.resumed else ""),
             "yes" if row.identical else "no",
         )
     result.table = table

@@ -18,9 +18,24 @@ the run:
 * :mod:`repro.resilience.faults` — the deterministic fault-injection
   harness (seeded plans that raise/delay/corrupt/kill at named stages,
   installable in-process or via the ``REPRO_FAULTS`` env hook) that
-  makes every recovery path above testable in CI.
+  makes every recovery path above testable in CI;
+* :mod:`repro.resilience.journal` / :mod:`repro.resilience.checkpoint`
+  — the durable run layer: an append-only fsync'd journal plus atomic
+  compacted snapshots make a run crash-consistent (``--run-dir``), so a
+  ``SIGKILL``/OOM of the whole orchestrator resumes (``--resume``)
+  bit-identically; also home to graceful SIGTERM/SIGINT shutdown and
+  the soft-RSS checkpoint-then-shed governor.
 """
 
+from repro.resilience.checkpoint import (
+    CheckpointManager,
+    ResumeError,
+    RunInterrupted,
+    clear_shutdown,
+    graceful_shutdown,
+    request_shutdown,
+    shutdown_requested,
+)
 from repro.resilience.faults import (
     FaultPlan,
     FaultSpec,
@@ -42,4 +57,11 @@ __all__ = [
     "install_fault_plan",
     "clear_fault_plan",
     "maybe_fault",
+    "CheckpointManager",
+    "RunInterrupted",
+    "ResumeError",
+    "graceful_shutdown",
+    "shutdown_requested",
+    "request_shutdown",
+    "clear_shutdown",
 ]

@@ -35,10 +35,16 @@ Fault kinds:
 ``kill``
     ``os._exit(17)`` — only honoured inside process-pool workers, where
     it simulates a segfaulting/OOM-killed worker.
+``killproc``
+    ``SIGKILL`` the **whole current process** — fired from orchestrator
+    sites (``checkpoint``, ``journal``, ``worker-recover``) it simulates
+    an OOM-kill or node preemption of the entire run, the scenario the
+    crash-consistent checkpoint/resume layer exists for.
 """
 
 import json
 import os
+import signal
 import time
 from dataclasses import asdict, dataclass
 
@@ -46,11 +52,23 @@ from dataclasses import asdict, dataclass
 ENV_VAR = "REPRO_FAULTS"
 
 #: Recognized fault kinds.
-KINDS = ("raise", "nan", "delay", "kill")
+KINDS = ("raise", "nan", "delay", "kill", "killproc")
 
 #: Instrumented stages (matching :data:`repro.resilience.report.STAGES`
-#: where injection makes sense).
-STAGES = ("parse", "pfg", "constraints", "solve", "worker")
+#: where injection makes sense).  ``checkpoint`` fires at run-layer
+#: barriers/finalization, ``journal`` *between* the two writes of one
+#: journal record (so a kill there leaves a torn tail record), and
+#: ``worker-recover`` in the parent while it rebuilds a collapsed pool.
+STAGES = (
+    "parse",
+    "pfg",
+    "constraints",
+    "solve",
+    "worker",
+    "checkpoint",
+    "journal",
+    "worker-recover",
+)
 
 
 class InjectedFault(RuntimeError):
@@ -75,6 +93,11 @@ class FaultSpec:
     kind: str = "raise"
     #: Firings before the spec burns out; negative = unlimited.
     count: int = 1
+    #: Matching sites to *pass over* before the spec arms — ``skip=2``
+    #: fires at the third matching site, giving chaos tests a way to aim
+    #: a kill at a deterministic mid-run point (the N-th checkpoint
+    #: barrier, the N-th journal record) without naming it.
+    skip: int = 0
     #: Sleep duration for ``delay`` faults.
     seconds: float = 0.0
     #: Optional marker-file path: the fault fires only if it can claim
@@ -134,6 +157,9 @@ class FaultPlan:
                 continue
             if spec.key and spec.key not in key:
                 continue
+            if spec.skip > 0:
+                spec.skip -= 1
+                continue
             if spec.marker is not None and not _claim_marker(spec.marker):
                 continue
             if spec.count > 0:
@@ -146,6 +172,8 @@ class FaultPlan:
                 return None
             if spec.kind == "kill":
                 os._exit(17)
+            if spec.kind == "killproc":
+                os.kill(os.getpid(), signal.SIGKILL)
             return "nan"
         return None
 

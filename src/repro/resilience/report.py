@@ -18,6 +18,8 @@ STAGES = (
     "solve",
     "worker",
     "cache",
+    "checkpoint",
+    "resource",
     "applier",
     "plural-check",
 )
@@ -42,6 +44,15 @@ DISPOSITIONS = (
     "entry-quarantined",
     #: A downstream stage (applier/checker) was skipped for this run.
     "stage-skipped",
+    #: The run drained in-flight work, wrote a final checkpoint, and
+    #: stopped on SIGTERM/SIGINT — resumable, not a result defect.
+    "run-interrupted",
+    #: The soft memory budget was hit: a checkpoint was forced and the
+    #: in-memory model cache shed (rebuilds are bit-identical).
+    "memory-shed",
+    #: The journal/snapshot (or cache) store hit ENOSPC or another
+    #: OSError; the run continues without persistence.
+    "persistence-disabled",
 )
 
 
@@ -103,9 +114,21 @@ _DEGRADED = frozenset(
 
 @dataclass
 class FailureReport:
-    """The ordered ledger of every failure event in one pipeline run."""
+    """The ordered ledger of every failure event in one pipeline run.
+
+    A run resumed from a checkpoint restores the earlier segment's
+    records wholesale, so the ledger is contiguous across resume
+    boundaries; ``resumed_from`` names the run directory it came from
+    and ``interrupted`` marks a report written by a graceful shutdown
+    (the run is incomplete but resumable).
+    """
 
     records: list = field(default_factory=list)
+    #: True when this report was written by a graceful shutdown — the
+    #: run stopped at a checkpoint barrier and can be resumed.
+    interrupted: bool = False
+    #: The run directory this run's state was restored from, or None.
+    resumed_from: str = None
 
     def add(self, record):
         self.records.append(record)
@@ -156,8 +179,13 @@ class FailureReport:
 
     def summary_line(self):
         """A one-line human summary for the CLI."""
+        suffix = ""
+        if self.interrupted:
+            suffix += " (interrupted — resumable)"
+        if self.resumed_from:
+            suffix += " (resumed from %s)" % self.resumed_from
         if self.is_clean:
-            return "resilience: no failures"
+            return "resilience: no failures" + suffix
         parts = [
             "%s=%d" % (stage, count)
             for stage, count in sorted(self.by_stage().items())
@@ -167,10 +195,11 @@ class FailureReport:
             if self.has_degradation
             else "all failures recovered"
         )
-        return "resilience: %d failure(s) [%s] — %s" % (
+        return "resilience: %d failure(s) [%s] — %s%s" % (
             len(self.records),
             " ".join(parts),
             kind,
+            suffix,
         )
 
     def describe(self):
@@ -184,6 +213,8 @@ class FailureReport:
         return {
             "clean": self.is_clean,
             "degraded": self.has_degradation,
+            "interrupted": self.interrupted,
+            "resumed_from": self.resumed_from,
             "by_stage": self.by_stage(),
             "failures": [asdict(record) for record in self.records],
         }

@@ -69,6 +69,10 @@ class CacheStats:
     #: degraded to a miss on the next read instead of aborting the run.
     store_errors: int = 0
     #: Methods whose static fingerprint changed since the manifest run.
+    #: Accumulated (like every other counter) so that a process serving
+    #: many sequential runs against one cache reports correct per-run
+    #: deltas — an assignment here would make the second run's delta
+    #: negative whenever it invalidated fewer methods than the first.
     invalidated_methods: int = 0
     #: Invalidated methods plus their transitive callers (SCC cone).
     dirty_cone: int = 0
@@ -105,6 +109,12 @@ class CacheStats:
 
     def snapshot(self):
         return replace(self)
+
+    def to_payload(self):
+        """The counters as a plain dict (serving-layer responses)."""
+        return {
+            f.name: getattr(self, f.name) for f in dataclass_fields(self)
+        }
 
     def describe(self):
         lines = ["analysis cache:"]
@@ -479,7 +489,7 @@ class BoundCache:
             key = self.key_of[method_ref]
             if recorded.get(key) != self.method_fingerprint(method_ref):
                 changed.add(method_ref)
-        self.stats.invalidated_methods = len(changed)
+        self.stats.invalidated_methods += len(changed)
         edges = dependency_edges(call_graph, methods)
         components = strongly_connected_components(edges)
         component_of = {}
@@ -499,7 +509,7 @@ class BoundCache:
             if dirty:
                 dirty_components.add(id(component))
                 cone.update(component)
-        self.stats.dirty_cone = len(cone)
+        self.stats.dirty_cone += len(cone)
         return cone
 
     def save_manifest(self, methods):

@@ -2,6 +2,8 @@
 
     python -m repro infer  FILE...    infer @Perm specs, print annotated source
     python -m repro check  FILE...    run the PLURAL checker, print warnings
+    python -m repro serve  [--socket PATH | --port N]   analysis daemon
+    python -m repro client OP [FILE...] --connect ADDR  query a daemon
     python -m repro pfg    FILE CLASS.METHOD   print a method's PFG (DOT)
     python -m repro table  {1,2,3,4}  regenerate a paper table
     python -m repro figure {1,4,6,10} regenerate a paper figure
@@ -169,6 +171,123 @@ def cmd_infer(args, out):
             print("", file=out)
             print(source, file=out)
     return _emit_fail_report(result, args, out)
+
+
+def cmd_serve(args, out):
+    from repro.serve import AnekServer
+
+    if args.socket is not None and args.port is not None:
+        print(
+            "repro serve: error: --socket and --port are mutually exclusive",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    port = args.port
+    if args.socket is None and port is None:
+        port = 0  # loopback TCP on an ephemeral port, printed at boot
+    server = AnekServer(
+        socket_path=args.socket,
+        port=port,
+        cache_dir=args.cache_dir,
+        use_cache=args.use_cache,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        batch_window=args.batch_window,
+        batch_max=args.batch_max,
+        policy=_build_policy(args),
+    )
+    return server.run_forever(out=out)
+
+
+def _print_served_infer(response, out):
+    """The served twin of ``cmd_infer``'s result block: identical
+    spec/warning formatting, so eyeballs and diffs agree across modes."""
+    serve = response.get("serve", {})
+    stats = response.get("stats", {})
+    print(
+        "served: request %s, batch %s (%s coalesced), %.3f s%s"
+        % (
+            serve.get("request_id", "?"),
+            serve.get("batch_size", "?"),
+            serve.get("coalesced_with", 0),
+            stats.get("elapsed_seconds", 0.0),
+            ", warm start" if stats.get("warm_start") else "",
+        ),
+        file=out,
+    )
+    result = response["result"]
+    print("", file=out)
+    print("Inferred specifications:", file=out)
+    for entry in result["specs"]:
+        print("  %-32s %s" % (entry["name"], entry["spec"]), file=out)
+    print("", file=out)
+    print("PLURAL warnings: %d" % len(result["warnings"]), file=out)
+    for warning in result["warnings"]:
+        print("  " + warning, file=out)
+
+
+def cmd_client(args, out):
+    import json
+
+    from repro.serve import ServeClient, ServeError
+
+    request = {"op": args.op}
+    if args.op in ("infer", "check"):
+        if not args.files:
+            print(
+                "repro client: error: op %r requires files" % args.op,
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        # Raw file contents only: the daemon prepends the annotated
+        # Iterator API itself when the request's ``api`` flag is set.
+        request["sources"] = _read_sources(args.files, False)
+        request["api"] = args.api
+        request["no_cache"] = not args.use_cache
+        if args.deadline:
+            request["deadline"] = args.deadline
+        if args.op == "infer":
+            executor, jobs = resolve_executor_args(args.executor, args.jobs)
+            request.update(
+                threshold=args.threshold,
+                max_iters=args.max_iters,
+                engine=args.engine,
+                executor=executor,
+                jobs=jobs,
+                include_marginals=args.marginals,
+            )
+    try:
+        with ServeClient(args.connect, timeout=args.timeout or None) as client:
+            response = client.call(request)
+    except ServeError as exc:
+        print("repro: error: %s" % exc, file=sys.stderr)
+        return EXIT_FATAL
+    status = response.get("status")
+    if args.json:
+        print(json.dumps(response, sort_keys=True, indent=2), file=out)
+    elif status in ("ok", "degraded") and args.op == "infer":
+        _print_served_infer(response, out)
+    elif status == "ok" and args.op == "check":
+        result = response["result"]
+        for warning in result["warnings"]:
+            print(warning, file=out)
+        print("%d warning(s)" % result["count"], file=out)
+    elif status == "ok":
+        print(json.dumps(response, sort_keys=True, indent=2), file=out)
+    else:
+        print(
+            "repro: %s: %s" % (status, response.get("error", "")),
+            file=sys.stderr,
+        )
+    if args.op == "check" and status == "ok":
+        return EXIT_OK if response["result"]["count"] == 0 else 1
+    if status == "ok":
+        return EXIT_OK
+    if status == "degraded":
+        return EXIT_DEGRADED
+    if status == "invalid":
+        return EXIT_USAGE
+    return EXIT_FATAL
 
 
 def cmd_check(args, out):
@@ -473,6 +592,73 @@ def build_parser():
                        help="soft RSS budget: checkpoint, then shed cached "
                             "models when exceeded (0 = no budget)")
     infer.set_defaults(run=cmd_infer)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the persistent analysis daemon (analysis as a service)",
+    )
+    serve.add_argument("--socket", metavar="PATH", default=None,
+                       help="listen on a Unix socket at PATH")
+    serve.add_argument("--port", metavar="N", default=None,
+                       type=_nonnegative_count("--port"),
+                       help="listen on loopback TCP port N (0 = ephemeral; "
+                            "the default when --socket is not given)")
+    serve.add_argument("--workers", metavar="N",
+                       type=_positive_count("--workers"), default=4,
+                       help="concurrent request workers (default: "
+                            "%(default)s)")
+    serve.add_argument("--queue-limit", metavar="N",
+                       type=_positive_count("--queue-limit"), default=64,
+                       help="bounded request queue depth; requests beyond "
+                            "it are rejected (default: %(default)s)")
+    serve.add_argument("--batch-window", metavar="SECONDS",
+                       type=_nonnegative_seconds("--batch-window"),
+                       default=0.01,
+                       help="how long a dispatch wave waits to collect "
+                            "coalescable requests (default: %(default)s)")
+    serve.add_argument("--batch-max", metavar="N",
+                       type=_positive_count("--batch-max"), default=16,
+                       help="max requests per dispatch wave "
+                            "(default: %(default)s)")
+    serve.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                       help="shared persistent analysis cache directory "
+                            "(default: %(default)s)")
+    serve.add_argument("--no-cache", dest="use_cache", action="store_false",
+                       help="serve without the persistent analysis cache")
+    serve.set_defaults(run=cmd_serve)
+
+    client = sub.add_parser(
+        "client", help="send one request to a running repro serve daemon"
+    )
+    client.add_argument("op",
+                        choices=("infer", "check", "ping", "stats",
+                                 "shutdown"))
+    client.add_argument("files", nargs="*")
+    client.add_argument("--connect", metavar="ADDRESS", required=True,
+                        help="daemon address: a Unix socket path or "
+                             "tcp:HOST:PORT (as printed by repro serve)")
+    client.add_argument("--no-api", dest="api", action="store_false",
+                        help="do not prepend the annotated Iterator API")
+    client.add_argument("--threshold", type=_threshold, default=0.5)
+    client.add_argument("--max-iters", type=_max_iters, default=0)
+    client.add_argument("--engine", default="compiled",
+                        choices=("loopy", "compiled"))
+    client.add_argument("--executor", default=None,
+                        choices=("worklist", "serial", "thread", "process"))
+    client.add_argument("--jobs", type=_job_count, default=0)
+    client.add_argument("--no-cache", dest="use_cache", action="store_false",
+                        help="ask the daemon to bypass the persistent cache")
+    client.add_argument("--deadline", metavar="SECONDS",
+                        type=_nonnegative_seconds("--deadline"), default=0.0,
+                        help="per-request deadline (0 = none)")
+    client.add_argument("--timeout", metavar="SECONDS",
+                        type=_nonnegative_seconds("--timeout"), default=0.0,
+                        help="client socket timeout (0 = wait forever)")
+    client.add_argument("--marginals", action="store_true",
+                        help="include raw boundary marginals in the result")
+    client.add_argument("--json", action="store_true",
+                        help="print the raw JSON response")
+    client.set_defaults(run=cmd_client)
 
     check = sub.add_parser("check", help="run the PLURAL checker")
     check.add_argument("files", nargs="+")

@@ -208,6 +208,17 @@ class InferenceStats:
     #: the run to no-persist.
     persist_errors: int = 0
 
+    def to_payload(self):
+        """The stats as plain JSON-serializable data (the serving layer
+        ships these in every response).  The per-level ``schedule`` trace
+        is summarized to its length — per-level wall-clock timings are
+        nondeterministic and have no business in a response payload."""
+        from dataclasses import asdict
+
+        payload = asdict(self)
+        payload["schedule"] = len(self.schedule)
+        return payload
+
 
 class AnekInference:
     """The ANEK-INFER procedure over a resolved program."""

@@ -7,6 +7,7 @@ writes the inferred annotations back into the program — which can then
 be checked with PLURAL.
 """
 
+import json
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional
@@ -47,6 +48,11 @@ class PipelineResult:
     annotated_sources: List[str] = field(default_factory=list)
     stages: List[StageTrace] = field(default_factory=list)
     inference_stats: Optional[object] = None
+    #: {method_ref: {(slot, target): TargetMarginal}} — the raw boundary
+    #: marginals inference produced, kept so consumers (the serve layer,
+    #: the differential harness) can compare runs at float precision
+    #: rather than only through thresholded specs.
+    boundary_marginals: dict = field(default_factory=dict)
     #: Persistent-cache counter movement for this run (a CacheStats
     #: delta), or None when the pipeline ran without a cache.
     cache_stats: Optional[object] = None
@@ -81,6 +87,58 @@ class PipelineResult:
                 "  %-22s %8.3f s  %s" % (stage.name, stage.seconds, stage.detail)
             )
         return "\n".join(lines)
+
+    def canonical_payload(self, include_marginals=False):
+        """The run's *answer* as plain JSON-serializable data.
+
+        Everything that identifies what the pipeline concluded — the
+        thresholded specs, the checker warnings, the degradation flag —
+        and (optionally) the raw boundary marginals, whose floats survive
+        a JSON round-trip exactly (``repr``-based float formatting).
+        Deliberately excludes timings, stats, and stage traces: two runs
+        over the same input are *bit-identical* exactly when their
+        canonical payloads are, which is the contract the serving layer
+        and the differential harness assert.
+        """
+        from repro.java.symbols import method_key
+
+        specs = [
+            {
+                "key": method_key(ref),
+                "name": ref.qualified_name,
+                "spec": str(spec),
+            }
+            for ref, spec in sorted(
+                self.specs.items(),
+                key=lambda kv: (kv[0].qualified_name, method_key(kv[0])),
+            )
+            if not spec.is_empty
+        ]
+        payload = {
+            "specs": specs,
+            "preannotated": sorted(self.preannotated_methods),
+            "warnings": [warning.format() for warning in self.warnings],
+            "annotations": self.inferred_annotation_count,
+            "clauses": self.inferred_clause_count,
+            "degraded": self.degraded,
+        }
+        if include_marginals:
+            marginals = {}
+            for ref, boundary in self.boundary_marginals.items():
+                entry = {}
+                for (slot, target), marginal in sorted(boundary.items()):
+                    entry["%s/%s" % (slot, target)] = marginal.to_payload()
+                marginals[method_key(ref)] = entry
+            payload["marginals"] = marginals
+        return payload
+
+    def canonical_json(self, include_marginals=False):
+        """The canonical payload as one deterministic JSON string."""
+        return json.dumps(
+            self.canonical_payload(include_marginals=include_marginals),
+            sort_keys=True,
+            separators=(",", ":"),
+        )
 
 
 class AnekPipeline:
@@ -202,6 +260,7 @@ class AnekPipeline:
             failures=result.failures,
         )
         marginals = inference.run()
+        result.boundary_marginals = marginals
         result.inference_stats = inference.stats
         stats = inference.stats
         if stats.warm_start:

@@ -57,8 +57,11 @@ KINDS = ("raise", "nan", "delay", "kill", "killproc")
 #: Instrumented stages (matching :data:`repro.resilience.report.STAGES`
 #: where injection makes sense).  ``checkpoint`` fires at run-layer
 #: barriers/finalization, ``journal`` *between* the two writes of one
-#: journal record (so a kill there leaves a torn tail record), and
-#: ``worker-recover`` in the parent while it rebuilds a collapsed pool.
+#: journal record (so a kill there leaves a torn tail record),
+#: ``worker-recover`` in the parent while it rebuilds a collapsed pool,
+#: and ``serve`` inside the daemon's request handler (the key is
+#: ``req:<id>:<work fingerprint prefix>``) — a fault there must cost
+#: exactly one response, never the daemon.
 STAGES = (
     "parse",
     "pfg",
@@ -68,6 +71,7 @@ STAGES = (
     "checkpoint",
     "journal",
     "worker-recover",
+    "serve",
 )
 
 

@@ -22,6 +22,7 @@ STAGES = (
     "resource",
     "applier",
     "plural-check",
+    "serve",
 )
 
 #: What became of the failing unit of work.
@@ -53,6 +54,10 @@ DISPOSITIONS = (
     #: The journal/snapshot (or cache) store hit ENOSPC or another
     #: OSError; the run continues without persistence.
     "persistence-disabled",
+    #: A served request failed (handler crash) or missed its deadline;
+    #: the requester got a failure response, the daemon kept serving.
+    "request-failed",
+    "request-expired",
 )
 
 

@@ -1,0 +1,36 @@
+"""Analysis as a service: the persistent ``repro serve`` daemon.
+
+The package splits along the request's path through the daemon:
+
+* :mod:`repro.serve.protocol` — framed-JSON wire format + validation;
+* :mod:`repro.serve.queueing` — bounded admission queue and metrics;
+* :mod:`repro.serve.batching` — coalescing/concurrency batch planner;
+* :mod:`repro.serve.server` — the daemon (front end, dispatcher, workers);
+* :mod:`repro.serve.client` — the synchronous client.
+"""
+
+from repro.serve.batching import plan_batch, work_fingerprint
+from repro.serve.client import ServeClient, ServeError, wait_for_server
+from repro.serve.protocol import (
+    OPS,
+    STATUSES,
+    ProtocolError,
+    normalize_request,
+)
+from repro.serve.queueing import BoundedRequestQueue, PendingRequest
+from repro.serve.server import AnekServer
+
+__all__ = [
+    "OPS",
+    "STATUSES",
+    "AnekServer",
+    "BoundedRequestQueue",
+    "PendingRequest",
+    "ProtocolError",
+    "ServeClient",
+    "ServeError",
+    "normalize_request",
+    "plan_batch",
+    "wait_for_server",
+    "work_fingerprint",
+]

@@ -1,0 +1,108 @@
+"""The serving client: synchronous framed calls to a running daemon.
+
+Addresses are strings: a filesystem path (Unix socket) or
+``tcp:HOST:PORT`` — exactly what the daemon prints as ``serving on
+<address>`` at startup.  One client holds one connection and issues one
+request at a time; concurrency tests simply open one client per thread.
+"""
+
+import socket
+import time
+
+from repro.serve.protocol import recv_message, send_message
+
+
+class ServeError(ConnectionError):
+    """The daemon is unreachable or hung up mid-request."""
+
+
+def parse_address(address):
+    """``(family, connect_arg)`` for an address string."""
+    if address.startswith("tcp:"):
+        host, _, port = address[len("tcp:") :].rpartition(":")
+        return socket.AF_INET, (host or "127.0.0.1", int(port))
+    return socket.AF_UNIX, address
+
+
+def connect(address, timeout=None):
+    """One connected blocking socket to the daemon."""
+    family, target = parse_address(address)
+    sock = socket.socket(family, socket.SOCK_STREAM)
+    if timeout is not None:
+        sock.settimeout(timeout)
+    try:
+        sock.connect(target)
+    except OSError as exc:
+        sock.close()
+        raise ServeError("cannot reach daemon at %s: %s" % (address, exc))
+    return sock
+
+
+class ServeClient:
+    """One connection, synchronous request/response."""
+
+    def __init__(self, address, timeout=None):
+        self.address = address
+        self._sock = connect(address, timeout=timeout)
+
+    def close(self):
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    def call(self, request):
+        """Send one raw request dict, block for its response."""
+        try:
+            send_message(self._sock, request)
+            return recv_message(self._sock)
+        except (OSError, ConnectionError) as exc:
+            raise ServeError(
+                "daemon at %s hung up: %s" % (self.address, exc)
+            )
+
+    # -- op helpers ------------------------------------------------------------
+
+    def ping(self):
+        return self.call({"op": "ping"})
+
+    def stats(self):
+        return self.call({"op": "stats"})
+
+    def shutdown(self):
+        return self.call({"op": "shutdown"})
+
+    def infer(self, sources, **knobs):
+        request = {"op": "infer", "sources": list(sources)}
+        request.update(knobs)
+        return self.call(request)
+
+    def check(self, sources, **knobs):
+        request = {"op": "check", "sources": list(sources)}
+        request.update(knobs)
+        return self.call(request)
+
+
+def wait_for_server(address, timeout=10.0, interval=0.05):
+    """Poll until the daemon answers a ping (daemon boot in tests/CLI).
+
+    Returns the ping response; raises :class:`ServeError` on timeout.
+    """
+    deadline = time.monotonic() + timeout
+    last_error = None
+    while time.monotonic() < deadline:
+        try:
+            with ServeClient(address, timeout=interval * 10) as client:
+                return client.ping()
+        except (ServeError, OSError) as exc:
+            last_error = exc
+            time.sleep(interval)
+    raise ServeError(
+        "no daemon at %s after %.1fs (%s)" % (address, timeout, last_error)
+    )

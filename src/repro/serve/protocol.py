@@ -1,0 +1,210 @@
+"""The serve wire protocol: framed JSON over a local stream socket.
+
+One message is ``MAGIC + u32 length + UTF-8 JSON``; the magic catches a
+client that connected something else to the socket, the length prefix
+makes framing trivial in both the blocking client and the non-blocking
+server front end (:class:`FrameBuffer`).  JSON keeps the protocol
+inspectable and language-neutral; float fidelity is not the wire's
+problem — results travel as the pipeline's *canonical payload*
+(:meth:`repro.core.pipeline.PipelineResult.canonical_payload`), whose
+JSON float round-trip is exact.
+
+Requests are normalized and validated by :func:`normalize_request`
+before they enter the queue, so by the time a worker sees one every
+knob is typed, ranged, and defaulted — a malformed request costs one
+``invalid`` response, never a worker crash.
+"""
+
+import json
+import struct
+
+from repro.core.model import ENGINES
+from repro.core.parallel import EXECUTORS
+
+#: Per-frame magic: catches non-protocol bytes before a length is trusted.
+MAGIC = b"ANK1"
+
+#: Frames above this are refused — a local analysis request has no
+#: business shipping hundreds of megabytes of source.
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+#: Operations the daemon accepts.
+OPS = ("infer", "check", "ping", "stats", "shutdown")
+
+#: Response statuses, mirroring the CLI's exit-code vocabulary:
+#: ``ok`` = clean result; ``degraded`` = completed with quarantines or
+#: prior-only solves (CLI exit 2); ``invalid`` = bad request (CLI 3);
+#: ``error`` = handler failure (CLI 4); ``expired`` = per-request
+#: deadline passed; ``rejected`` = bounded queue full or daemon
+#: draining.
+STATUSES = ("ok", "degraded", "invalid", "error", "expired", "rejected")
+
+
+class ProtocolError(Exception):
+    """A malformed frame or an invalid request payload."""
+
+
+def encode_message(payload):
+    """One framed message as bytes."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    if len(body) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            "message of %d bytes exceeds the %d byte limit"
+            % (len(body), MAX_MESSAGE_BYTES)
+        )
+    return MAGIC + struct.pack("<I", len(body)) + body
+
+
+def send_message(sock, payload):
+    """Blocking send of one framed message."""
+    sock.sendall(encode_message(payload))
+
+
+def _recv_exact(sock, count):
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError(
+                "connection closed mid-frame (%d of %d bytes missing)"
+                % (remaining, count)
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock):
+    """Blocking receive of one framed message (the client side)."""
+    header = _recv_exact(sock, len(MAGIC) + 4)
+    if not header.startswith(MAGIC):
+        raise ProtocolError("bad frame magic %r" % header[: len(MAGIC)])
+    (length,) = struct.unpack("<I", header[len(MAGIC) :])
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError("frame of %d bytes exceeds the limit" % length)
+    body = _recv_exact(sock, length)
+    try:
+        return json.loads(body.decode("utf-8"))
+    except ValueError as exc:
+        raise ProtocolError("undecodable frame body: %s" % exc)
+
+
+class FrameBuffer:
+    """Incremental frame decoder for the server's non-blocking reads.
+
+    Feed it whatever ``recv`` produced; it yields every complete message
+    and keeps the partial tail for the next feed.  Raises
+    :class:`ProtocolError` on a bad magic or an oversized length — the
+    server then drops the connection, since the stream can no longer be
+    trusted to re-synchronize.
+    """
+
+    def __init__(self):
+        self._buffer = bytearray()
+
+    def feed(self, data):
+        self._buffer.extend(data)
+        messages = []
+        header_len = len(MAGIC) + 4
+        while True:
+            if len(self._buffer) < header_len:
+                return messages
+            if not self._buffer.startswith(MAGIC):
+                raise ProtocolError(
+                    "bad frame magic %r" % bytes(self._buffer[: len(MAGIC)])
+                )
+            (length,) = struct.unpack(
+                "<I", bytes(self._buffer[len(MAGIC) : header_len])
+            )
+            if length > MAX_MESSAGE_BYTES:
+                raise ProtocolError(
+                    "frame of %d bytes exceeds the limit" % length
+                )
+            if len(self._buffer) < header_len + length:
+                return messages
+            body = bytes(self._buffer[header_len : header_len + length])
+            del self._buffer[: header_len + length]
+            try:
+                messages.append(json.loads(body.decode("utf-8")))
+            except ValueError as exc:
+                raise ProtocolError("undecodable frame body: %s" % exc)
+
+
+# ---------------------------------------------------------------------------
+# Request validation
+# ---------------------------------------------------------------------------
+
+#: Request defaults, also the documentation of the request schema.
+REQUEST_DEFAULTS = {
+    "op": "infer",
+    "sources": (),
+    "api": True,
+    "threshold": 0.5,
+    "max_iters": 0,
+    "engine": "compiled",
+    "executor": "worklist",
+    "jobs": 0,
+    "no_cache": False,
+    "deadline": 0.0,
+    "include_marginals": False,
+}
+
+
+def normalize_request(payload):
+    """Validate one raw request dict into a fully-defaulted copy.
+
+    Raises :class:`ProtocolError` with a requester-facing message on any
+    unknown field, unknown op, or out-of-range knob (the same ranges the
+    CLI's argparse validators enforce).
+    """
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            "request must be a JSON object, got %s" % type(payload).__name__
+        )
+    unknown = sorted(set(payload) - set(REQUEST_DEFAULTS))
+    if unknown:
+        raise ProtocolError("unknown request field(s): %s" % ", ".join(unknown))
+    request = dict(REQUEST_DEFAULTS)
+    request.update(payload)
+    if request["op"] not in OPS:
+        raise ProtocolError(
+            "unknown op %r (expected one of %s)"
+            % (request["op"], ", ".join(OPS))
+        )
+    sources = request["sources"]
+    if not isinstance(sources, (list, tuple)) or any(
+        not isinstance(source, str) for source in sources
+    ):
+        raise ProtocolError("sources must be a list of strings")
+    request["sources"] = tuple(sources)
+    if request["op"] in ("infer", "check") and not sources:
+        raise ProtocolError("op %r requires sources" % request["op"])
+    if not isinstance(request["threshold"], (int, float)) or not (
+        0.5 <= request["threshold"] < 1.0
+    ):
+        raise ProtocolError("threshold must be in [0.5, 1)")
+    if not isinstance(request["max_iters"], int) or request["max_iters"] < 0:
+        raise ProtocolError("max_iters must be an integer >= 0")
+    if request["engine"] not in ENGINES:
+        raise ProtocolError(
+            "unknown engine %r (expected one of %s)"
+            % (request["engine"], ", ".join(ENGINES))
+        )
+    if request["executor"] not in EXECUTORS:
+        raise ProtocolError(
+            "unknown executor %r (expected one of %s)"
+            % (request["executor"], ", ".join(EXECUTORS))
+        )
+    if not isinstance(request["jobs"], int) or request["jobs"] < 0:
+        raise ProtocolError("jobs must be an integer >= 0")
+    if (
+        not isinstance(request["deadline"], (int, float))
+        or request["deadline"] < 0
+    ):
+        raise ProtocolError("deadline must be a number of seconds >= 0")
+    request["deadline"] = float(request["deadline"])
+    for flag in ("api", "no_cache", "include_marginals"):
+        if not isinstance(request[flag], bool):
+            raise ProtocolError("%s must be a boolean" % flag)
+    return request

@@ -1,0 +1,589 @@
+"""The ``repro serve`` daemon: analysis as a persistent service.
+
+One process keeps everything that makes a cold CLI run slow — the
+imported toolchain, the content-addressed :class:`AnalysisCache` on a
+shared directory, warm-started full-run restores — alive across
+requests, and serves concurrent ``infer``/``check`` requests over a
+local socket.
+
+Threading model (three kinds of thread, no shared mutable analysis
+state):
+
+* the **front end** runs a ``selectors`` loop over *blocking* sockets,
+  using readiness only to decide whom to ``recv`` from; it frames,
+  validates, and either answers control ops inline (``ping``,
+  ``stats``, ``shutdown``) or admits work into the
+  :class:`BoundedRequestQueue`.
+* the **dispatcher** pulls batches from the queue, plans them
+  (:func:`plan_batch` — coalesce identical work, run distinct work
+  concurrently), and submits one worker task per group.  Waves are
+  synchronous: the dispatcher joins a wave before pulling the next
+  batch, which makes "drain in-flight work then stop" a two-line
+  shutdown path.
+* **workers** (a warm ``ThreadPoolExecutor``) each run one group:
+  re-materialize the program from sources (never shared — the applier
+  mutates the AST), run the exact :class:`AnekPipeline` the CLI runs,
+  and fan the canonical result out to every coalesced member.
+
+Determinism: a served request executes the same pipeline with the same
+settings as ``python -m repro infer``, and results travel as
+:meth:`PipelineResult.canonical_payload` whose JSON float round-trip is
+exact — so a served response is bit-identical to a cold CLI run of the
+same request (asserted by ``tests/test_serve_differential.py``).
+
+Shutdown: SIGTERM/SIGINT (or a ``shutdown`` op) closes the queue —
+later requests are ``rejected`` at the door — drains everything already
+admitted through normal dispatch, then exits 0, mirroring the graceful
+drain of the checkpoint layer.
+"""
+
+import os
+import selectors
+import signal
+import socket
+import threading
+import time
+from dataclasses import replace
+
+from repro.cache import DEFAULT_CACHE_DIR, AnalysisCache
+from repro.core import AnekPipeline, InferenceSettings
+from repro.corpus.iterator_api import ITERATOR_API_SOURCE
+from repro.java.parser import parse_compilation_unit
+from repro.java.symbols import resolve_program
+from repro.plural.checker import check_program
+from repro.resilience.faults import maybe_fault
+from repro.resilience.policy import ResiliencePolicy
+from repro.resilience.report import FailureReport
+from repro.serve.batching import plan_batch, work_fingerprint
+from repro.serve.protocol import (
+    FrameBuffer,
+    ProtocolError,
+    normalize_request,
+    send_message,
+)
+from repro.serve.queueing import BoundedRequestQueue, PendingRequest
+
+
+class _Connection:
+    """One client connection: socket, frame decoder, serialized writes."""
+
+    def __init__(self, sock):
+        self.sock = sock
+        self.buffer = FrameBuffer()
+        #: Responses for one connection may come from the front end and
+        #: several workers; the lock keeps frames from interleaving.
+        self.write_lock = threading.Lock()
+        self.open = True
+
+    def send(self, payload):
+        """Send one response; a dead peer is noted, never raised."""
+        with self.write_lock:
+            if not self.open:
+                return False
+            try:
+                send_message(self.sock, payload)
+                return True
+            except (OSError, ProtocolError):
+                self.open = False
+                return False
+
+    def close(self):
+        with self.write_lock:
+            self.open = False
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+
+
+class AnekServer:
+    """The daemon.  ``start()`` + ``wait()`` (or :func:`run_forever`)."""
+
+    def __init__(
+        self,
+        socket_path=None,
+        host="127.0.0.1",
+        port=None,
+        cache_dir=DEFAULT_CACHE_DIR,
+        use_cache=True,
+        workers=4,
+        queue_limit=64,
+        batch_window=0.01,
+        batch_max=16,
+        policy=None,
+    ):
+        if (socket_path is None) == (port is None):
+            raise ValueError(
+                "exactly one of socket_path (unix) or port (tcp) is required"
+            )
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.cache_dir = cache_dir
+        self.use_cache = use_cache
+        self.workers = max(1, int(workers))
+        self.batch_window = batch_window
+        self.batch_max = max(1, int(batch_max))
+        self.policy = policy or ResiliencePolicy()
+        self.queue = BoundedRequestQueue(limit=queue_limit)
+        #: The daemon-lifetime failure ledger (request failures never
+        #: abort the daemon; they land here and in the response).
+        self.failures = FailureReport()
+        self._listener = None
+        self._selector = None
+        self._pool = None
+        self._front_thread = None
+        self._dispatcher_thread = None
+        self._stopping = threading.Event()
+        self._drained = threading.Event()
+        self._connections = set()
+        self._connections_lock = threading.Lock()
+        self._metrics_lock = threading.Lock()
+        self._request_seq = 0
+        self._started_at = None
+        self._status_counts = {}
+        self._waves = 0
+        self._coalesced = 0
+        self._expired = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def address(self):
+        """The connectable address string (``PATH`` or ``tcp:HOST:PORT``)."""
+        if self.socket_path is not None:
+            return self.socket_path
+        return "tcp:%s:%d" % (self.host, self.port)
+
+    def start(self):
+        """Bind, listen, and start the front-end + dispatcher threads."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        if self.socket_path is not None:
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(self.socket_path)
+        else:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.host, self.port))
+            self.port = listener.getsockname()[1]
+        listener.listen(128)
+        listener.setblocking(False)
+        self._listener = listener
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(listener, selectors.EVENT_READ, data=None)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="anek-serve"
+        )
+        self._started_at = time.perf_counter()
+        self._dispatcher_thread = threading.Thread(
+            target=self._dispatch_loop, name="anek-dispatch", daemon=True
+        )
+        self._front_thread = threading.Thread(
+            target=self._front_loop, name="anek-front", daemon=True
+        )
+        self._dispatcher_thread.start()
+        self._front_thread.start()
+        return self
+
+    def initiate_shutdown(self):
+        """Stop admitting, drain what is admitted, then stop.  Safe to
+        call from signal handlers and from any thread, any number of
+        times."""
+        self._stopping.set()
+        self.queue.close()
+
+    def wait(self, poll=0.2):
+        """Block until the daemon has drained and stopped."""
+        while not self._drained.wait(poll):
+            pass
+        self._teardown()
+
+    def run_forever(self, install_signals=True, out=None):
+        """``start()`` + signal wiring + ``wait()``; returns 0."""
+        self.start()
+        if out is not None:
+            print("serving on %s" % self.address, file=out, flush=True)
+        if install_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                signal.signal(signum, self._signal_handler)
+        self.wait()
+        return 0
+
+    def _signal_handler(self, signum, frame):
+        self.initiate_shutdown()
+
+    def _teardown(self):
+        if self._front_thread is not None:
+            self._front_thread.join(timeout=5)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+        with self._connections_lock:
+            connections = list(self._connections)
+            self._connections.clear()
+        for connection in connections:
+            connection.close()
+        if self._selector is not None:
+            self._selector.close()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self.socket_path is not None:
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+
+    # -- front end -------------------------------------------------------------
+
+    def _front_loop(self):
+        while True:
+            if self._drained.is_set():
+                return
+            events = self._selector.select(timeout=0.1)
+            for key, _ in events:
+                if key.data is None:
+                    self._accept()
+                else:
+                    self._read(key)
+
+    def _accept(self):
+        try:
+            sock, _ = self._listener.accept()
+        except OSError:
+            return
+        # Blocking socket + selector readiness: recv never blocks (we
+        # only call it when readable) and sendall needs no write queue.
+        sock.setblocking(True)
+        connection = _Connection(sock)
+        with self._connections_lock:
+            self._connections.add(connection)
+        self._selector.register(sock, selectors.EVENT_READ, data=connection)
+
+    def _drop(self, connection):
+        try:
+            self._selector.unregister(connection.sock)
+        except (KeyError, ValueError):
+            pass
+        with self._connections_lock:
+            self._connections.discard(connection)
+        connection.close()
+
+    def _read(self, key):
+        connection = key.data
+        try:
+            data = connection.sock.recv(65536)
+        except OSError:
+            data = b""
+        if not data:
+            self._drop(connection)
+            return
+        try:
+            messages = connection.buffer.feed(data)
+        except ProtocolError as exc:
+            # The stream cannot re-synchronize after a framing error.
+            connection.send({"status": "error", "error": str(exc)})
+            self._drop(connection)
+            return
+        for raw in messages:
+            self._handle_message(connection, raw)
+
+    def _handle_message(self, connection, raw):
+        try:
+            request = normalize_request(raw)
+        except ProtocolError as exc:
+            self._count_status("invalid")
+            connection.send({"status": "invalid", "error": str(exc)})
+            return
+        op = request["op"]
+        if op == "ping":
+            connection.send(
+                {
+                    "status": "ok",
+                    "op": "ping",
+                    "pid": os.getpid(),
+                    "draining": self._stopping.is_set(),
+                }
+            )
+            return
+        if op == "stats":
+            connection.send(self._stats_payload())
+            return
+        if op == "shutdown":
+            connection.send({"status": "ok", "op": "shutdown"})
+            self.initiate_shutdown()
+            return
+        with self._metrics_lock:
+            self._request_seq += 1
+            request_id = self._request_seq
+        deadline_at = (
+            time.perf_counter() + request["deadline"]
+            if request["deadline"] > 0
+            else None
+        )
+        pending = PendingRequest(
+            request=request,
+            connection=connection,
+            request_id=request_id,
+            fingerprint=work_fingerprint(request),
+            deadline_at=deadline_at,
+        )
+        if not self.queue.put(pending):
+            self._count_status("rejected")
+            connection.send(
+                {
+                    "status": "rejected",
+                    "id": request_id,
+                    "error": "queue full or daemon draining",
+                }
+            )
+
+    # -- dispatcher ------------------------------------------------------------
+
+    def _dispatch_loop(self):
+        try:
+            while True:
+                batch = self.queue.get_batch(self.batch_max, self.batch_window)
+                if not batch:
+                    if self._stopping.is_set() and self.queue.depth() == 0:
+                        return
+                    continue
+                plan = plan_batch(batch)
+                with self._metrics_lock:
+                    self._waves += 1
+                    self._coalesced += plan.coalesced
+                futures = [
+                    self._pool.submit(self._run_group, group, plan)
+                    for group in plan.groups
+                ]
+                # Wave barrier: drain tracking is then simply "the loop
+                # has returned".  A worker exception is a handler bug —
+                # surface it on the daemon's ledger, keep serving.
+                for group, future in zip(plan.groups, futures):
+                    try:
+                        future.result()
+                    except Exception as exc:  # pragma: no cover - safety net
+                        self._fail_group(group, plan, exc)
+        finally:
+            self._drained.set()
+
+    # -- request execution -----------------------------------------------------
+
+    def _run_group(self, group, plan):
+        now = time.perf_counter()
+        live = []
+        for member in group.members:
+            if member.expired(now):
+                self._respond_expired(member, group, plan, "in queue")
+            else:
+                live.append(member)
+        if not live:
+            return
+        key = "req:%d:%s" % (live[0].request_id, group.fingerprint[:12])
+        try:
+            token = maybe_fault("serve", key)
+            if token is not None:
+                raise RuntimeError(
+                    "injected serve-stage divergence (%r)" % token
+                )
+            executed = self._execute(group.request, live)
+        except Exception as exc:
+            for member in live:
+                self.failures.record("serve", key, exc, "request-failed")
+                self._count_status("error")
+                member.connection.send(
+                    {
+                        "status": "error",
+                        "id": member.request_id,
+                        "op": group.request["op"],
+                        "error": "%s: %s" % (type(exc).__name__, exc),
+                        "serve": self._serve_meta(member, group, plan),
+                    }
+                )
+            return
+        now = time.perf_counter()
+        for member in live:
+            if member.expired(now):
+                self._respond_expired(
+                    member, group, plan, "during execution", executed
+                )
+                continue
+            status = executed["status"]
+            self._count_status(status)
+            payload = {
+                "status": status,
+                "id": member.request_id,
+                "op": group.request["op"],
+                "result": executed["result"],
+                "stats": executed["stats"],
+                "serve": self._serve_meta(member, group, plan),
+            }
+            if member.request["include_marginals"] and "marginals" in executed:
+                payload["result"] = dict(executed["result"])
+                payload["result"]["marginals"] = executed["marginals"]
+            member.connection.send(payload)
+
+    def _execute(self, request, live):
+        """Run one group's work: the same pipeline the CLI runs."""
+        sources = list(request["sources"])
+        if request["api"]:
+            sources.insert(0, ITERATOR_API_SOURCE)
+        started = time.perf_counter()
+        if request["op"] == "check":
+            program = resolve_program(
+                [parse_compilation_unit(source) for source in sources]
+            )
+            warnings = check_program(program)
+            return {
+                "status": "ok",
+                "result": {
+                    "warnings": [warning.format() for warning in warnings],
+                    "count": len(warnings),
+                },
+                "stats": {
+                    "elapsed_seconds": time.perf_counter() - started,
+                },
+            }
+        settings = InferenceSettings(
+            threshold=request["threshold"],
+            max_worklist_iters=request["max_iters"],
+            executor=request["executor"],
+            jobs=request["jobs"],
+            engine=request["engine"],
+            policy=self._policy_for(live),
+        )
+        cache = None
+        if self.use_cache and not request["no_cache"]:
+            # A fresh AnalysisCache *instance* per request over the
+            # shared directory: artifact reuse comes from the store
+            # (write-once, atomic — concurrency-safe), while stats stay
+            # an unpolluted per-request delta.
+            cache = AnalysisCache(cache_dir=self.cache_dir)
+        pipeline = AnekPipeline(settings=settings, cache=cache)
+        result = pipeline.run_on_sources(sources)
+        stats = result.inference_stats
+        executed = {
+            "status": "degraded" if result.degraded else "ok",
+            "result": result.canonical_payload(),
+            "stats": {
+                "elapsed_seconds": time.perf_counter() - started,
+                "inference": stats.to_payload() if stats is not None else None,
+                "cache": (
+                    result.cache_stats.to_payload()
+                    if result.cache_stats is not None
+                    else None
+                ),
+                "warm_start": bool(stats is not None and stats.warm_start),
+                "failures": result.failures.to_payload(),
+            },
+        }
+        if any(member.request["include_marginals"] for member in live):
+            executed["marginals"] = result.canonical_payload(
+                include_marginals=True
+            )["marginals"]
+        return executed
+
+    def _policy_for(self, live):
+        """The group's policy: the server's, narrowed by the members'
+        remaining deadline budget (the tightest member governs; members
+        with different ``deadline`` knobs never share a group)."""
+        deadlines = [
+            member.deadline_at
+            for member in live
+            if member.deadline_at is not None
+        ]
+        if not deadlines:
+            return self.policy
+        remaining = max(min(deadlines) - time.perf_counter(), 0.001)
+        solve_deadline = (
+            min(self.policy.solve_deadline, remaining)
+            if self.policy.solve_deadline
+            else remaining
+        )
+        return replace(self.policy, solve_deadline=solve_deadline)
+
+    def _respond_expired(self, member, group, plan, where, executed=None):
+        exc = TimeoutError(
+            "deadline of %.3fs exceeded %s"
+            % (member.request["deadline"], where)
+        )
+        self.failures.record(
+            "serve",
+            "req:%d:%s" % (member.request_id, group.fingerprint[:12]),
+            exc,
+            "request-expired",
+        )
+        self._count_status("expired")
+        with self._metrics_lock:
+            self._expired += 1
+        payload = {
+            "status": "expired",
+            "id": member.request_id,
+            "op": group.request["op"],
+            "error": str(exc),
+            "serve": self._serve_meta(member, group, plan),
+        }
+        if executed is not None:
+            # The work finished anyway (coalesced members shared it);
+            # include the result — the *status* still says late.
+            payload["result"] = executed["result"]
+        member.connection.send(payload)
+
+    def _serve_meta(self, member, group, plan):
+        return {
+            "request_id": member.request_id,
+            "queue_wait_seconds": member.queue_wait(),
+            "batch_size": plan.size,
+            "batch_groups": len(plan.groups),
+            "coalesced_with": len(group.members) - 1,
+            "fingerprint": group.fingerprint,
+        }
+
+    def _fail_group(self, group, plan, exc):
+        for member in group.members:
+            self._count_status("error")
+            member.connection.send(
+                {
+                    "status": "error",
+                    "id": member.request_id,
+                    "op": group.request["op"],
+                    "error": "%s: %s" % (type(exc).__name__, exc),
+                    "serve": self._serve_meta(member, group, plan),
+                }
+            )
+
+    # -- metrics ---------------------------------------------------------------
+
+    def _count_status(self, status):
+        with self._metrics_lock:
+            self._status_counts[status] = (
+                self._status_counts.get(status, 0) + 1
+            )
+
+    def _stats_payload(self):
+        with self._metrics_lock:
+            counts = dict(self._status_counts)
+            waves = self._waves
+            coalesced = self._coalesced
+            expired = self._expired
+        return {
+            "status": "ok",
+            "op": "stats",
+            "pid": os.getpid(),
+            "address": self.address,
+            "uptime_seconds": time.perf_counter() - self._started_at,
+            "workers": self.workers,
+            "draining": self._stopping.is_set(),
+            "queue": self.queue.metrics.to_payload(),
+            "responses": counts,
+            "waves": waves,
+            "coalesced": coalesced,
+            "expired": expired,
+            "failures": self.failures.to_payload(),
+        }

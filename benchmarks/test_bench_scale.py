@@ -1,0 +1,201 @@
+"""Corpus scale-out bench — the paper's modularity claim, at scale.
+
+"The algorithm generates probabilistic method summaries which enable a
+modular analysis that can scale the inference to large programs."
+
+This is the canonical scaling benchmark (it folds in and supersedes the
+old ``test_bench_scaling`` subquadratic check).  It measures the
+sharded level-synchronous scheduler on two corpora from the *scale-out*
+family (``CorpusSpec.scaled(factor)`` with factor > 1: frozen Table 2
+warning core, interleaved stream protocol family, seeded filler call
+chains) and asserts:
+
+* **near-linear wall-clock** — in full mode (``REPRO_FULL_SCALE=1``),
+  10x the methods may cost at most 13x the inference time at a fixed
+  shard count, measured on a >= 30k-method corpus; quick mode (the
+  default, and what the CI ``scale-smoke`` job runs) checks the growth
+  between a 1x and 2x corpus stays far below quadratic;
+* **bounded residency under ``--max-rss-mb``** — a budgeted run of the
+  large corpus sheds PFGs at barriers, stays below the unbounded run's
+  resident set (asserted in full mode), and still produces marginals
+  **bit-identical** to the unbounded run (asserted in both modes).
+
+Every measurement runs in a forked child process so corpus residency
+and timings never contaminate each other.  Results go to
+``BENCH_scale.json`` at the repo root.
+"""
+
+import hashlib
+import json
+import multiprocessing
+import os
+import tempfile
+import time
+from pathlib import Path
+
+FULL = os.environ.get("REPRO_FULL_SCALE", "") == "1"
+
+SMALL_FACTOR = 1.001  # smallest factor on the scale-out path
+BIG_FACTOR = 10.0 if FULL else 2.0
+RSS_BUDGET_MB = 600 if FULL else 1
+MAX_LINEAR_SLOWDOWN = 1.3  # full mode: 10x methods <= 13x time
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_scale.json"
+
+
+def _child(conn, factor, budget_mb, run_dir):
+    """One measured run: generate, parse, infer; report over the pipe."""
+    from repro.core.infer import AnekInference, InferenceSettings
+    from repro.corpus import CorpusSpec, generate_pmd_corpus
+    from repro.java.parser import parse_compilation_unit
+    from repro.java.symbols import method_key, resolve_program
+    from repro.resilience.checkpoint import current_rss_mb
+
+    bundle = generate_pmd_corpus(CorpusSpec().scaled(factor))
+    parse_start = time.perf_counter()
+    program = resolve_program(
+        [parse_compilation_unit(s) for s in bundle.all_sources()]
+    )
+    parse_seconds = time.perf_counter() - parse_start
+    settings = InferenceSettings(
+        executor="serial",
+        shards=2,
+        run_dir=run_dir,
+        max_rss_mb=budget_mb,
+        checkpoint_every=10 ** 6,  # shed snapshots only; no periodic I/O
+    )
+    infer_start = time.perf_counter()
+    inference = AnekInference(program, settings=settings)
+    results = inference.run()
+    infer_seconds = time.perf_counter() - infer_start
+    digest = hashlib.sha256()
+    for ref in sorted(results, key=method_key):
+        digest.update(method_key(ref).encode("utf-8"))
+        digest.update(
+            json.dumps(
+                [
+                    (str(slot_target), marginal.to_payload())
+                    for slot_target, marginal in sorted(
+                        results[ref].items(), key=lambda kv: str(kv[0])
+                    )
+                ]
+            ).encode("utf-8")
+        )
+    stats = inference.stats
+    conn.send(
+        {
+            "factor": factor,
+            "methods": bundle.spec.methods,
+            "lines": bundle.spec.lines,
+            "parse_seconds": parse_seconds,
+            "infer_seconds": infer_seconds,
+            "solves": stats.solves,
+            "shards": stats.shards,
+            "sheds": stats.sheds,
+            "pfg_sheds": stats.pfg_sheds,
+            "pfg_rehydrations": stats.pfg_rehydrations,
+            "rss_peak_mb": stats.rss_peak_mb,
+            "end_rss_mb": current_rss_mb(),
+            "marginals_sha256": digest.hexdigest(),
+        }
+    )
+    conn.close()
+
+
+def _measure(factor, budget_mb=0):
+    ctx = multiprocessing.get_context("fork")
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    with tempfile.TemporaryDirectory() as run_dir:
+        proc = ctx.Process(
+            target=_child,
+            args=(child_conn, factor, budget_mb,
+                  run_dir if budget_mb else None),
+        )
+        proc.start()
+        child_conn.close()
+        payload = parent_conn.recv()
+        proc.join()
+    assert proc.exitcode == 0
+    return payload
+
+
+def test_bench_scale_out(benchmark):
+    def run():
+        small = _measure(SMALL_FACTOR)
+        big = _measure(BIG_FACTOR)
+        budgeted = _measure(BIG_FACTOR, budget_mb=RSS_BUDGET_MB)
+        return small, big, budgeted
+
+    small, big, budgeted = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    size_ratio = big["methods"] / small["methods"]
+    time_ratio = big["infer_seconds"] / max(small["infer_seconds"], 1e-9)
+    print()
+    for point in (small, big):
+        print(
+            "  %6d methods  parse %6.2f s  infer %7.2f s  (%.2f ms/method,"
+            " %d shards)"
+            % (
+                point["methods"],
+                point["parse_seconds"],
+                point["infer_seconds"],
+                1000.0 * point["infer_seconds"] / point["methods"],
+                point["shards"],
+            )
+        )
+    print(
+        "  size x%.2f -> time x%.2f   budgeted run: %d shed(s), %d PFG"
+        " shed(s), peak %.0f MiB (unbounded end RSS %.0f MiB)"
+        % (
+            size_ratio,
+            time_ratio,
+            budgeted["sheds"],
+            budgeted["pfg_sheds"],
+            budgeted["rss_peak_mb"],
+            big["end_rss_mb"],
+        )
+    )
+
+    # Near-linear scaling of the sharded scheduler.
+    if FULL:
+        assert big["methods"] >= 30000
+        assert time_ratio <= MAX_LINEAR_SLOWDOWN * size_ratio
+    # In every mode the growth must stay far below quadratic (the old
+    # test_bench_scaling floor).
+    assert time_ratio < size_ratio ** 2
+
+    # RSS governance: the budgeted run sheds PFGs and reproduces the
+    # unbounded marginals bit for bit.
+    assert budgeted["sheds"] >= 1
+    assert budgeted["pfg_sheds"] >= 1
+    assert budgeted["marginals_sha256"] == big["marginals_sha256"]
+    if FULL:
+        assert budgeted["rss_peak_mb"] < big["end_rss_mb"]
+
+    report = {
+        "bench": "scale",
+        "mode": "full" if FULL else "quick",
+        "executor": "serial",
+        "engine": "compiled",
+        "fixed_shards": 2,
+        "points": [small, big],
+        "size_ratio": round(size_ratio, 3),
+        "time_ratio": round(time_ratio, 3),
+        "max_time_ratio_allowed": (
+            round(MAX_LINEAR_SLOWDOWN * size_ratio, 3)
+            if FULL
+            else round(size_ratio ** 2, 3)
+        ),
+        "rss_governance": {
+            "budget_mb": RSS_BUDGET_MB,
+            "budgeted_peak_rss_mb": round(budgeted["rss_peak_mb"], 1),
+            "unbounded_end_rss_mb": round(big["end_rss_mb"], 1),
+            "sheds": budgeted["sheds"],
+            "pfg_sheds": budgeted["pfg_sheds"],
+            "pfg_rehydrations": budgeted["pfg_rehydrations"],
+            "budgeted_infer_seconds": round(budgeted["infer_seconds"], 2),
+            "bit_identical_to_unbounded": True,
+        },
+    }
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")

@@ -114,6 +114,7 @@ def cmd_infer(args, out):
         max_worklist_iters=args.max_iters,
         executor=executor,
         jobs=jobs,
+        shards=args.shards,
         engine=args.engine,
         policy=_build_policy(args),
         run_dir=run_dir,
@@ -154,6 +155,20 @@ def cmd_infer(args, out):
     if args.cache_stats and cache is not None:
         print("", file=out)
         print(cache.stats.describe(), file=out)
+    if args.cache_stats and result.inference_stats is not None:
+        stats = result.inference_stats
+        print("", file=out)
+        print(
+            "memory: %d shed(s), %d pfg shed(s), %d pfg rehydration(s), "
+            "peak rss %.0f MiB"
+            % (
+                stats.sheds,
+                stats.pfg_sheds,
+                stats.pfg_rehydrations,
+                stats.rss_peak_mb,
+            ),
+            file=out,
+        )
     print("", file=out)
     print("Inferred specifications:", file=out)
     for ref, spec in sorted(
@@ -361,6 +376,63 @@ def cmd_explain(args, out):
     return 0
 
 
+def cmd_corpus(args, out):
+    import hashlib
+    import json
+    import os
+    from dataclasses import asdict, replace
+
+    from repro.corpus import CorpusSpec, generate_pmd_corpus
+
+    base = CorpusSpec()
+    if args.methods:
+        spec = base.scaled(args.methods / float(base.methods))
+        spec = replace(spec, methods=args.methods)
+    else:
+        spec = base.scaled(args.scale)
+    spec = replace(spec, seed=args.seed)
+    if args.families:
+        spec = replace(spec, protocol_families=args.families)
+    bundle = generate_pmd_corpus(spec)
+    os.makedirs(args.out, exist_ok=True)
+    files = []
+    api_sources = [bundle.api_source] + list(bundle.extra_api_sources)
+    for index, source in enumerate(api_sources):
+        files.append(("Api%d.java" % index, source))
+    for index, source in enumerate(bundle.sources):
+        files.append(("Source%05d.java" % index, source))
+    digest = hashlib.sha256()
+    for name, source in files:
+        digest.update(source.encode("utf-8"))
+        with open(os.path.join(args.out, name), "w") as handle:
+            handle.write(source)
+    manifest = {
+        "spec": asdict(spec),
+        "files": [name for name, _ in files],
+        "api_files": len(api_sources),
+        "classes": len(bundle.sources),
+        "methods": spec.methods,
+        "lines": bundle.line_count(),
+        "sha256": digest.hexdigest(),
+    }
+    with open(os.path.join(args.out, "MANIFEST.json"), "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        "corpus: %d classes, %d methods, %d lines, %d protocol family(ies)"
+        % (
+            len(bundle.sources),
+            spec.methods,
+            bundle.line_count(),
+            spec.protocol_families,
+        ),
+        file=out,
+    )
+    print("wrote %d files to %s" % (len(files) + 1, args.out), file=out)
+    print("sha256: %s" % manifest["sha256"], file=out)
+    return 0
+
+
 def cmd_table(args, out):
     from repro.corpus import CorpusSpec
     from repro.reporting.experiments import (
@@ -538,6 +610,12 @@ def build_parser():
                        choices=("worklist", "serial", "thread", "process"),
                        help="inference engine: the sequential worklist "
                             "(default) or the level-synchronous scheduler")
+    infer.add_argument("--shards", metavar="K",
+                       type=_nonnegative_count("--shards"), default=0,
+                       help="partition each scheduler level into K shards "
+                            "solved by independent worker groups "
+                            "(0 = auto from --jobs; results are "
+                            "bit-identical for every K)")
     infer.add_argument("--engine", default="compiled",
                        choices=("loopy", "compiled"),
                        help="BP engine: the compiled flat-array kernel "
@@ -680,6 +758,29 @@ def build_parser():
     explain.add_argument("--no-api", dest="api", action="store_false")
     explain.add_argument("--threshold", type=_threshold, default=0.5)
     explain.set_defaults(run=cmd_explain)
+
+    corpus = sub.add_parser(
+        "corpus",
+        help="generate a deterministic synthetic corpus on disk",
+    )
+    corpus.add_argument("--methods", metavar="N",
+                        type=_positive_count("--methods"), default=0,
+                        help="target method count (scales the Table 1 "
+                             "corpus proportionally; overrides --scale)")
+    corpus.add_argument("--scale", type=float, default=1.0,
+                        help="scale factor relative to the Table 1 corpus "
+                             "(default: %(default)s)")
+    corpus.add_argument("--seed", metavar="S",
+                        type=_nonnegative_count("--seed"), default=0,
+                        help="generator seed for the structural variation "
+                             "(default: %(default)s)")
+    corpus.add_argument("--families", metavar="K",
+                        type=_nonnegative_count("--families"), default=0,
+                        help="protocol families to interleave (0 = what "
+                             "the scale implies; 2 adds the stream API)")
+    corpus.add_argument("--out", metavar="DIR", required=True,
+                        help="output directory (created if missing)")
+    corpus.set_defaults(run=cmd_corpus)
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("number", type=int, choices=(1, 2, 3, 4, 5),

@@ -31,6 +31,7 @@ from repro.core.heuristics import HeuristicConfig
 from repro.core.model import ENGINES, ModelCache
 from repro.core.parallel import EXECUTORS
 from repro.core.pfg_builder import build_pfg
+from repro.core.pfgstore import PFGStore
 from repro.core.priors import SpecEnvironment
 from repro.core.summaries import (
     SummaryStore,
@@ -82,6 +83,12 @@ class InferenceSettings:
     executor: str = "worklist"
     #: Worker count for the thread/process executors (0 = CPU count).
     jobs: int = 0
+    #: Shard count for the scheduled executors: each condensation level
+    #: is partitioned into this many groups solved independently, with
+    #: summaries/evidence exchanged only at the level barrier.  0 = auto
+    #: (derived from the effective job count).  Like ``jobs``, excluded
+    #: from cache config digests — shard count never changes results.
+    shards: int = 0
     #: BP engine: "compiled" = flat-array kernel (fast path, default);
     #: "loopy" = the per-message reference engine.
     engine: str = "compiled"
@@ -129,6 +136,8 @@ class InferenceSettings:
             )
         if self.jobs < 0:
             raise ValueError("jobs must be >= 0, got %d" % self.jobs)
+        if self.shards < 0:
+            raise ValueError("shards must be >= 0, got %d" % self.shards)
         if self.engine not in ENGINES:
             raise ValueError(
                 "unknown engine %r (expected one of %s)"
@@ -182,10 +191,13 @@ class InferenceStats:
     #: threads when the program or config cannot be pickled).
     executor: str = "worklist"
     jobs: int = 1
-    #: Scheduled-engine shape: SCC-condensation levels and rounds run.
+    #: Scheduled-engine shape: SCC-condensation levels and rounds run,
+    #: and the shard count each level was partitioned into (1 = no
+    #: sharding; the worklist executor never shards).
     levels: int = 0
     sccs: int = 0
     rounds: int = 0
+    shards: int = 1
     #: Per-level trace entries: {round, level, methods, seconds}.
     schedule: list = field(default_factory=list)
     #: Methods quarantined by the resilience layer (frontend or
@@ -204,6 +216,11 @@ class InferenceStats:
     #: observed at barriers (0.0 when no budget was set).
     sheds: int = 0
     rss_peak_mb: float = 0.0
+    #: PFG streaming under the RSS budget: shed events that evicted live
+    #: PFGs, and PFGs lazily re-hydrated (from the persistent cache or a
+    #: deterministic rebuild) after an eviction.
+    pfg_sheds: int = 0
+    pfg_rehydrations: int = 0
     #: Journal/snapshot writes that failed (ENOSPC etc.) and degraded
     #: the run to no-persist.
     persist_errors: int = 0
@@ -238,7 +255,6 @@ class AnekInference:
         self.summaries = SummaryStore(
             change_threshold=self.settings.summary_change_threshold
         )
-        self.pfgs = {}
         self.stats = InferenceStats(engine=self.settings.engine)
         #: The persistent cache, bound to this program/config — None when
         #: caching is off or the config is not fingerprintable.
@@ -247,6 +263,9 @@ class AnekInference:
             if cache is not None
             else None
         )
+        #: Streaming PFG map: dict-like, but evictable under the RSS
+        #: budget with transparent re-hydration (see core/pfgstore.py).
+        self.pfgs = PFGStore(program, cache=self.cache, stats=self.stats)
         self.models = ModelCache(
             program,
             self.config,

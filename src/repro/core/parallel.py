@@ -36,6 +36,7 @@ import math
 import multiprocessing
 import os
 import pickle
+import threading
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -45,6 +46,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.callgraph import condensation_levels
 from repro.core.model import ModelCache
+from repro.core.shardplan import plan_shards, resolve_shard_count
 from repro.core.pfg_builder import build_pfg
 from repro.core.priors import SpecEnvironment
 from repro.core.summaries import (
@@ -470,6 +472,9 @@ class LevelScheduler:
         self.settings = inference.settings
         self.table = self.program.method_key_table()
         self.key_of = {ref: key for key, ref in self.table.items()}
+        #: The global shard plan ({method_ref: shard index}), installed
+        #: by :meth:`run` before any backend is built.
+        self.shard_of = {}
 
     # -- worker entry for serial/thread backends ------------------------------
 
@@ -491,29 +496,47 @@ class LevelScheduler:
     # -- backend construction --------------------------------------------------
 
     def make_backend(self, jobs):
+        """A single (unsharded) backend; kept as the one-group case."""
+        return self.make_backend_groups(jobs, 1)[0]
+
+    def make_backend_groups(self, jobs, shard_count):
+        """One backend per shard.
+
+        Serial and thread executors share a single backend object across
+        every shard (a thread pool is safely driven from several parent
+        threads at once); the process executor builds one *independent
+        process group* per shard, each initialized with only its own
+        shard's PFGs, so a group's resident footprint shrinks with the
+        shard count.
+        """
         executor = self.settings.executor
         if executor == "serial":
-            return _SerialBackend(self)
+            return [_SerialBackend(self)] * shard_count
         if executor == "thread":
-            return _ThreadBackend(self, jobs)
-        pfgs_by_key = {
-            self.key_of[ref]: pfg for ref, pfg in self.inference.pfgs.items()
-        }
+            return [_ThreadBackend(self, jobs)] * shard_count
         bound_cache = self.inference.cache
         cache_spec = (
             bound_cache.cache.spec() if bound_cache is not None else None
         )
+        shard_pfgs = [{} for _ in range(shard_count)]
+        for ref in sorted(self.inference.pfgs, key=lambda r: self.key_of[r]):
+            shard = self.shard_of.get(ref, 0) if shard_count > 1 else 0
+            shard_pfgs[shard][self.key_of[ref]] = self.inference.pfgs[ref]
+        blobs = []
         try:
-            blob = pickle.dumps(
-                (
-                    self.program,
-                    self.config,
-                    self.settings,
-                    pfgs_by_key,
-                    cache_spec,
-                ),
-                protocol=pickle.HIGHEST_PROTOCOL,
-            )
+            for pfgs_by_key in shard_pfgs:
+                blobs.append(
+                    pickle.dumps(
+                        (
+                            self.program,
+                            self.config,
+                            self.settings,
+                            pfgs_by_key,
+                            cache_spec,
+                        ),
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                )
         except Exception as exc:
             warnings.warn(
                 "process executor unavailable (%s: %s); falling back to "
@@ -521,8 +544,16 @@ class LevelScheduler:
                 RuntimeWarning,
                 stacklevel=2,
             )
-            return _ThreadBackend(self, jobs)
-        return _ProcessBackend(self, jobs, blob)
+            return [_ThreadBackend(self, jobs)] * shard_count
+        # Workers are split across the groups as evenly as possible;
+        # every group gets at least one.
+        base, extra = divmod(max(jobs, shard_count), shard_count)
+        return [
+            _ProcessBackend(
+                self, base + (1 if index < extra else 0), blobs[index]
+            )
+            for index in range(shard_count)
+        ]
 
     # -- the schedule ----------------------------------------------------------
 
@@ -553,21 +584,103 @@ class LevelScheduler:
             stats.levels = len(levels)
             stats.sccs = scc_count
             jobs = resolve_jobs(settings.jobs)
-            backend = self.make_backend(jobs)
+            shard_count = resolve_shard_count(settings.shards, jobs)
+            stats.shards = shard_count
+            self.shard_of = plan_shards(levels, shard_count, self.key_of)
+            groups = self.make_backend_groups(jobs, shard_count)
             try:
-                self._run_rounds(levels, backend, manager, resume_extra)
+                self._run_rounds(levels, groups, manager, resume_extra)
             finally:
-                backend.close()
-            stats.executor = backend.name
+                for backend in {id(b): b for b in groups}.values():
+                    backend.close()
+            stats.executor = groups[0].name
             stats.jobs = jobs
             results = self._results
         else:
             stats.executor = settings.executor
             stats.jobs = resolve_jobs(settings.jobs)
+            stats.shards = resolve_shard_count(
+                settings.shards, stats.jobs
+            )
         stats.elapsed_seconds = time.perf_counter() - start
         return results
 
-    def _run_rounds(self, levels, backend, manager=None, resume=None):
+    def _solve_level(self, groups, targets, keys, store):
+        """Solve one level across the shard groups; returns the outcomes
+        in canonical (sorted method-key) order plus a per-shard trace.
+
+        Every shard solves against the same level-start store — merges
+        happen strictly after all shards return, in canonical order — so
+        the outcome set is independent of the shard count.  Shard groups
+        run concurrently on parent threads (each process group drives
+        its own pool, retries included); the serial executor drives its
+        shards sequentially, preserving its inline semantics.
+        """
+        if len(groups) == 1:
+            level_start = time.perf_counter()
+            outcomes = groups[0].solve_level(keys, store)
+            trace = [
+                {
+                    "shard": 0,
+                    "methods": len(keys),
+                    "seconds": time.perf_counter() - level_start,
+                }
+            ]
+            return outcomes, trace
+        shard_keys = [[] for _ in groups]
+        for ref, key in zip(targets, keys):
+            shard_keys[self.shard_of.get(ref, 0)].append(key)
+        populated = [
+            (index, chunk)
+            for index, chunk in enumerate(shard_keys)
+            if chunk
+        ]
+        by_key = {}
+        trace = []
+        errors = []
+        lock = threading.Lock()
+
+        def drive(shard_index, chunk):
+            shard_start = time.perf_counter()
+            try:
+                outcomes = groups[shard_index].solve_level(chunk, store)
+            except BaseException as exc:
+                with lock:
+                    errors.append(exc)
+                return
+            with lock:
+                for outcome in outcomes:
+                    by_key[outcome.key] = outcome
+                trace.append(
+                    {
+                        "shard": shard_index,
+                        "methods": len(chunk),
+                        "seconds": time.perf_counter() - shard_start,
+                    }
+                )
+
+        if self.settings.executor == "serial":
+            for shard_index, chunk in populated:
+                drive(shard_index, chunk)
+        else:
+            threads = [
+                threading.Thread(
+                    target=drive,
+                    args=(shard_index, chunk),
+                    name="anek-shard-%d" % shard_index,
+                )
+                for shard_index, chunk in populated
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        if errors:
+            raise errors[0]
+        trace.sort(key=lambda entry: entry["shard"])
+        return [by_key[key] for key in keys], trace
+
+    def _run_rounds(self, levels, groups, manager=None, resume=None):
         inference = self.inference
         stats = inference.stats
         store = inference.summaries
@@ -615,18 +728,21 @@ class LevelScheduler:
                     continue
                 keys = [self.key_of[ref] for ref in targets]
                 level_start = time.perf_counter()
-                outcomes = backend.solve_level(keys, store)
+                outcomes, shard_trace = self._solve_level(
+                    groups, targets, keys, store
+                )
                 for outcome in outcomes:
                     self._merge_outcome(outcome, round_changed)
                 stats.solves += len(targets)
-                stats.schedule.append(
-                    {
-                        "round": round_index,
-                        "level": level_index,
-                        "methods": len(targets),
-                        "seconds": time.perf_counter() - level_start,
-                    }
-                )
+                entry = {
+                    "round": round_index,
+                    "level": level_index,
+                    "methods": len(targets),
+                    "seconds": time.perf_counter() - level_start,
+                }
+                if len(groups) > 1:
+                    entry["shards"] = shard_trace
+                stats.schedule.append(entry)
                 if manager is not None:
                     extra = {
                         "round": round_index,

@@ -178,7 +178,19 @@ class PFGBuilder:
 
     def _connect_back_edges(self):
         """Second pass: wire fronts flowing along CFG back edges."""
+        # Only CFG nodes that own a merge node can gain an edge here: the
+        # inner loop bails out unless ``merge_nodes`` holds an entry for
+        # (node, witness).  Restricting the walk to those nodes keeps this
+        # pass proportional to the number of joins rather than scanning
+        # every statement's alias facts (quadratic in straight-line
+        # methods), and — because we merely skip iterations that produced
+        # nothing — the edge insertion order is unchanged.
+        merge_node_ids = {node_id for node_id, _ in self.merge_nodes}
+        if not merge_node_ids:
+            return
         for node in self.cfg.nodes:
+            if node.node_id not in merge_node_ids:
+                continue
             for pred, _ in node.preds:
                 if pred.node_id not in self._processed:
                     continue

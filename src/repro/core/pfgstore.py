@@ -1,0 +1,94 @@
+"""Streaming PFG store: a dict-like map that can evict and re-hydrate.
+
+Holding every method's Permission Flow Graph in RSS is what bounds the
+corpus size a single inference process can survive.  This store keeps
+the *live* PFGs in memory behind the same mapping protocol inference
+already uses (``pfgs[ref]``, ``ref in pfgs``, ``pfgs.pop``), but lets
+the checkpoint barrier's RSS governance :meth:`shed` the live set; a
+later lookup transparently re-hydrates the PFG — from the persistent
+cache (``cache/pfgser.py`` payloads) when one is bound, otherwise by a
+deterministic rebuild from source.  Both paths reproduce the original
+graph exactly, so eviction never changes results.
+"""
+
+from repro.core.pfg_builder import build_pfg
+
+
+class PFGStore:
+    """Mapping of ``MethodRef -> PFG`` with eviction + lazy rehydration.
+
+    Membership (``in``, ``len``) is defined by the set of methods whose
+    PFG was ever stored and not popped — *not* by what is currently
+    resident — so inference logic is oblivious to evictions.
+    """
+
+    def __init__(self, program, cache=None, stats=None):
+        self.program = program
+        #: The bound persistent cache (``BoundCache``) or None.
+        self.cache = cache
+        #: The run's :class:`InferenceStats` (rehydrations are counted
+        #: there), or None for standalone use.
+        self.stats = stats
+        self._live = {}
+        self._known = set()
+
+    # -- mapping protocol --------------------------------------------------------
+
+    def __contains__(self, method_ref):
+        return method_ref in self._known
+
+    def __len__(self):
+        return len(self._known)
+
+    def __iter__(self):
+        return iter(self._known)
+
+    def __setitem__(self, method_ref, pfg):
+        self._known.add(method_ref)
+        self._live[method_ref] = pfg
+
+    def __getitem__(self, method_ref):
+        if method_ref not in self._known:
+            raise KeyError(method_ref)
+        pfg = self._live.get(method_ref)
+        if pfg is None:
+            pfg = self._rehydrate(method_ref)
+            self._live[method_ref] = pfg
+        return pfg
+
+    def pop(self, method_ref, default=None):
+        if method_ref not in self._known:
+            return default
+        self._known.discard(method_ref)
+        return self._live.pop(method_ref, default)
+
+    def keys(self):
+        return set(self._known)
+
+    # -- eviction ----------------------------------------------------------------
+
+    def live_count(self):
+        """How many PFGs are currently resident."""
+        return len(self._live)
+
+    def shed(self):
+        """Evict every resident PFG; returns the number evicted.
+
+        Safe at any point: lookups after a shed re-hydrate on demand,
+        bit-identically.
+        """
+        count = len(self._live)
+        self._live.clear()
+        return count
+
+    # -- rehydration -------------------------------------------------------------
+
+    def _rehydrate(self, method_ref):
+        pfg = None
+        if self.cache is not None:
+            pfg, _ = self.cache.load_frontend(method_ref)
+        if pfg is None:
+            pfg = build_pfg(self.program, method_ref)
+        if self.stats is not None:
+            self.stats.pfg_rehydrations += 1
+        return pfg

@@ -307,22 +307,37 @@ class AnekPipeline:
                 stats.levels,
                 stats.rounds,
             )
+            if stats.shards > 1:
+                detail += ", shards=%d" % stats.shards
         if stats.resumed:
             detail += ", resumed"
         if stats.checkpoints:
             detail += ", %d checkpoint(s)" % stats.checkpoints
         if stats.sheds:
             detail += ", %d memory shed(s)" % stats.sheds
+        if stats.pfg_sheds or stats.pfg_rehydrations:
+            detail += ", pfg[%d shed(s), %d rehydration(s)]" % (
+                stats.pfg_sheds,
+                stats.pfg_rehydrations,
+            )
         result.stages.append(
             StageTrace("anek-infer", time.perf_counter() - start, detail)
         )
         # Per-level trace of the scheduled engine (empty for the worklist).
         for entry in stats.schedule:
+            level_detail = "%d methods" % entry["methods"]
+            shard_trace = entry.get("shards")
+            if shard_trace:
+                level_detail += ", shards[%s]" % ", ".join(
+                    "%d: %d in %.3fs"
+                    % (shard["shard"], shard["methods"], shard["seconds"])
+                    for shard in shard_trace
+                )
             result.stages.append(
                 StageTrace(
                     "  level %d.%d" % (entry["round"], entry["level"]),
                     entry["seconds"],
-                    "%d methods" % entry["methods"],
+                    level_detail,
                     nested=True,
                 )
             )

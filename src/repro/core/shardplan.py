@@ -1,0 +1,53 @@
+"""Deterministic shard planning over the SCC condensation.
+
+Sharding splits each condensation level's methods into K partitions that
+independent worker groups solve concurrently; summaries and evidence are
+exchanged only at the level barrier, exactly where the unsharded
+scheduler already merges.  Because every solve within a level reads the
+*level-start* summary snapshot and merged outcomes are reassembled in
+sorted method-key order before any store mutation, the partition choice
+can never change results — it only changes which worker group computed
+each outcome.  The planner below is nevertheless fully deterministic so
+that per-shard artifacts (timings, blobs, logs) are reproducible too.
+
+The plan is *global*: one assignment covering every method of the
+condensation, computed level-major with greedy least-loaded placement
+and a stable tie-break.  A global plan lets the process executor build
+one long-lived worker group per shard, each shipping only its own
+shard's PFGs — the per-group memory footprint shrinks by ~1/K, which is
+what makes 100k-method corpora fit.
+"""
+
+
+def resolve_shard_count(shards, jobs):
+    """The effective shard count: an explicit ``shards`` wins; the auto
+    default derives from the worker count — one shard per two workers,
+    capped so small runs keep a single group (no overhead) and large
+    runs don't fragment the pool."""
+    if shards and shards > 0:
+        return int(shards)
+    return max(1, min(4, int(jobs) // 2))
+
+
+def plan_shards(levels, shard_count, key_of):
+    """``{method_ref: shard index}`` for every method in ``levels``.
+
+    Level-major, sorted-key order within each level, greedy least-loaded
+    assignment with ties broken by the lowest shard index.  Methods of
+    the same SCC sit in the same level, so an SCC's Jacobi iterates stay
+    within whatever shards its members landed in — the plan only ever
+    splits work that the level barrier already synchronizes.
+    """
+    assignment = {}
+    if shard_count <= 1:
+        for level in levels:
+            for ref in level:
+                assignment[ref] = 0
+        return assignment
+    loads = [0] * shard_count
+    for level in levels:
+        for ref in sorted(level, key=lambda item: key_of[item]):
+            shard = min(range(shard_count), key=lambda s: (loads[s], s))
+            assignment[ref] = shard
+            loads[shard] += 1
+    return assignment

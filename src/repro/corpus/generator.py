@@ -24,10 +24,12 @@ Unannotated, the corpus produces 45 PLURAL warnings
 (3 + 2·8 + 2·10 + 2 + 4), exactly Table 2's "Original" row.
 """
 
-from dataclasses import dataclass, field
+import random
+from dataclasses import dataclass, field, replace
 from typing import Dict, List
 
 from repro.corpus.iterator_api import ITERATOR_API_SOURCE
+from repro.corpus.stream_api import STREAM_API_SOURCE
 
 
 @dataclass
@@ -46,14 +48,53 @@ class CorpusSpec:
     misleading_setters: int = 4
     state_test_overrides: int = 3
     consumers_per_class: int = 6
+    #: Deterministic seed for the structural variation the generator
+    #: introduces at scale (filler call chains).  Two specs differing
+    #: only in seed produce structurally similar but distinct corpora.
+    seed: int = 0
+    #: Number of interleaved protocol families: 1 = iterator only,
+    #: >= 2 adds the hierarchical stream protocol with its consumers.
+    protocol_families: int = 1
+    #: Guarded stream-drain consumers (only emitted when
+    #: ``protocol_families >= 2``); they verify cleanly, so Table 2's
+    #: warning counts are untouched.
+    stream_consumers: int = 0
+    #: Fraction of filler methods that call an earlier filler method in
+    #: the same class — gives the scaled corpus a non-trivial call
+    #: graph (and SCC condensation) instead of thousands of leaves.
+    filler_call_density: float = 0.0
 
     def scaled(self, factor):
-        """A proportionally smaller corpus (for tests); pattern counts
-        that define Table 2's shape keep at least one instance."""
+        """A proportionally scaled corpus.
+
+        Factors below 1 shrink for tests, keeping at least one instance
+        of every pattern that defines Table 2's shape.  Factors above 1
+        grow classes/methods/lines (and the cleanly-verifying pattern
+        populations) proportionally while *freezing* the
+        warning-producing counts — the Table 2 pattern mix is the
+        invariant core, so a 100k-method corpus still yields exactly the
+        same PLURAL warning set as the Table 1 corpus.  Scale-out also
+        interleaves the second protocol family and gives fillers a call
+        graph, so the condensation stays non-trivial at size.
+        """
 
         def scale(value, minimum=1):
             return max(minimum, int(round(value * factor)))
 
+        if factor > 1:
+            return replace(
+                self,
+                classes=scale(self.classes),
+                methods=scale(self.methods),
+                lines=scale(self.lines),
+                guarded_direct=scale(self.guarded_direct),
+                wrappers=scale(self.wrappers),
+                protocol_families=max(self.protocol_families, 2),
+                stream_consumers=max(
+                    self.stream_consumers, scale(self.param_consumers)
+                ),
+                filler_call_density=max(self.filler_call_density, 0.12),
+            )
         return CorpusSpec(
             classes=scale(self.classes, 6),
             methods=scale(self.methods, 30),
@@ -67,6 +108,10 @@ class CorpusSpec:
             misleading_setters=scale(self.misleading_setters, 2),
             state_test_overrides=min(self.state_test_overrides, 3),
             consumers_per_class=self.consumers_per_class,
+            seed=self.seed,
+            protocol_families=self.protocol_families,
+            stream_consumers=self.stream_consumers,
+            filler_call_density=self.filler_call_density,
         )
 
 
@@ -77,11 +122,18 @@ class CorpusBundle:
     spec: CorpusSpec = None
     sources: List[str] = field(default_factory=list)  # excludes the API
     api_source: str = ITERATOR_API_SOURCE
+    #: Further protocol-family APIs (e.g. the stream API) when the spec
+    #: interleaves more than one family.
+    extra_api_sources: List[str] = field(default_factory=list)
     #: qualified method name -> pattern tag ("wrapper", "guarded", ...)
     registry: Dict[str, str] = field(default_factory=dict)
 
     def all_sources(self):
-        return [self.api_source] + list(self.sources)
+        return (
+            [self.api_source]
+            + list(self.extra_api_sources)
+            + list(self.sources)
+        )
 
     def line_count(self):
         return sum(len(source.splitlines()) for source in self.sources)
@@ -107,8 +159,16 @@ class _ClassWriter:
         return "\n".join(self.lines + ["}"]) + "\n"
 
 
-def _filler_method(class_name, index, extra_statements=0):
-    """A protocol-free filler method, ~8 source lines."""
+def _filler_method(class_name, index, extra_statements=0, call_target=None):
+    """A protocol-free filler method, ~8 source lines.
+
+    ``extra_statements`` pads the body (2 lines each) so the corpus line
+    target is absorbed *across* methods instead of by one giant method —
+    keeping every method's statement count bounded keeps the per-method
+    analyses (alias transfer, PFG join wiring) linear in corpus size.
+    ``call_target`` names an earlier method in the same class to call,
+    giving fillers a real call graph.
+    """
     name = "op%d" % index
     lines = [
         "int %s(int x) {" % name,
@@ -121,11 +181,19 @@ def _filler_method(class_name, index, extra_statements=0):
     for pad in range(extra_statements):
         lines.append("    int p%d = b + %d;" % (pad, pad))
         lines.append("    b = b + p%d;" % pad)
+    if call_target is not None:
+        lines.append("    b = b + %s(b);" % call_target)
     lines.extend([
         "    return a + b;",
         "}",
     ])
     return name, lines
+
+
+#: Cap on padding statements per filler method (2 lines each).  Bounds
+#: the largest method the generator can emit; overflow beyond what the
+#: fillers can absorb lands in the residual ``pad()`` method.
+_MAX_EXTRA_STATEMENTS = 150
 
 
 def generate_pmd_corpus(spec=None):
@@ -321,6 +389,37 @@ def generate_pmd_corpus(spec=None):
         method_budget -= 2
         writers.append(writer)
 
+    # ---- stream-family consumers -------------------------------------------------
+    # A second, hierarchical protocol interleaved with the iterator
+    # family.  Every consumer drains under ready() guards and closes, so
+    # the corpus-wide PLURAL warning count is untouched.
+    if spec.protocol_families >= 2:
+        bundle.extra_api_sources = [STREAM_API_SOURCE]
+        stream_writers = []
+        for index in range(spec.stream_consumers):
+            class_index = index // per_class
+            if class_index >= len(stream_writers):
+                stream_writers.append(
+                    _ClassWriter("StreamConsumer%d" % class_index)
+                )
+            writer = stream_writers[class_index]
+            writer.add_method(
+                [
+                    "int pull%d(FileSystem fs, String path) {" % index,
+                    "    Stream s = fs.open(path);",
+                    "    int acc = 0;",
+                    "    while (s.ready()) {",
+                    "        acc = acc + s.read();",
+                    "    }",
+                    "    s.close();",
+                    "    return acc;",
+                    "}",
+                ]
+            )
+            registry["%s.pull%d" % (writer.name, index)] = "stream-consumer"
+            method_budget -= 1
+        writers.extend(stream_writers)
+
     # ---- filler classes ----------------------------------------------------------
     method_budget -= 1  # reserved for the padding method below
     filler_class_count = spec.classes - len(writers)
@@ -328,25 +427,80 @@ def generate_pmd_corpus(spec=None):
         filler_class_count = 1
     base = method_budget // filler_class_count
     remainder = method_budget - base * filler_class_count
-    last_writer = None
-    for class_index in range(filler_class_count):
-        name = "Util%d" % class_index
-        writer = _ClassWriter(name)
-        count = base + (1 if class_index < remainder else 0)
+    filler_counts = [
+        base + (1 if class_index < remainder else 0)
+        for class_index in range(filler_class_count)
+    ]
+    # Call plan: seeded, decided up-front so the measuring pass and the
+    # final pass emit identical structure.  Only earlier methods of the
+    # same class are called, so the filler call graph is acyclic and
+    # resolves without imports.
+    rng = random.Random(spec.seed)
+    call_plan = {}
+    if spec.filler_call_density > 0:
+        for class_index, count in enumerate(filler_counts):
+            for method_index in range(1, count):
+                if rng.random() < spec.filler_call_density:
+                    call_plan[(class_index, method_index)] = "op%d" % (
+                        rng.randrange(method_index)
+                    )
+
+    def build_fillers(extras):
+        built = []
+        for class_index, count in enumerate(filler_counts):
+            name = "Util%d" % class_index
+            writer = _ClassWriter(name)
+            for method_index in range(count):
+                method_name, body = _filler_method(
+                    name,
+                    method_index,
+                    extra_statements=extras.get(
+                        (class_index, method_index), 0
+                    ),
+                    call_target=call_plan.get((class_index, method_index)),
+                )
+                writer.add_method(body)
+            built.append(writer)
+        return built
+
+    # Measuring pass: how many lines does the corpus have before padding?
+    probe = build_fillers({})
+    current = sum(len(w.render().splitlines()) for w in writers + probe)
+    deficit = max(spec.lines - current - 3, 0)  # pad header/footer + blank
+
+    # Distribute the deficit across filler methods (2 lines per extra
+    # statement pair), bounded per method; the residual goes to pad().
+    extras = {}
+    filler_methods = [
+        (class_index, method_index)
+        for class_index, count in enumerate(filler_counts)
+        for method_index in range(count)
+    ]
+    if filler_methods and deficit >= 2:
+        total_pairs = deficit // 2
+        per_method = total_pairs // len(filler_methods)
+        leftover = total_pairs - per_method * len(filler_methods)
+        for position, key in enumerate(filler_methods):
+            share = per_method + (1 if position < leftover else 0)
+            share = min(share, _MAX_EXTRA_STATEMENTS)
+            if share:
+                extras[key] = share
+    absorbed = 2 * sum(extras.values())
+    residual = deficit - absorbed
+
+    filler_writers = build_fillers(extras)
+    for class_index, count in enumerate(filler_counts):
         for method_index in range(count):
-            method_name, body = _filler_method(name, method_index)
-            writer.add_method(body)
-            registry["%s.%s" % (name, method_name)] = "filler"
-        writers.append(writer)
-        last_writer = writer
+            registry["Util%d.op%d" % (class_index, method_index)] = "filler"
+    writers.extend(filler_writers)
+    last_writer = filler_writers[-1]
 
     # ---- pad to the target line count ---------------------------------------------
-    # One reserved padding method in the last filler class absorbs the
-    # line deficit so the corpus hits the target counts exactly.
-    current = sum(len(w.render().splitlines()) for w in writers)
-    deficit = spec.lines - current - 3  # method header/footer + blank
+    # The reserved padding method absorbs whatever small residual the
+    # distributed extras could not express, so the corpus hits the
+    # target line count exactly.
     pad_body = ["void pad() {"]
-    for index in range(max(deficit, 0)):
+    for index in range(residual):
         pad_body.append("    int p%d = %d;" % (index, index))
     pad_body.append("}")
     last_writer.add_method(pad_body)

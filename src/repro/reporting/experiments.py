@@ -387,6 +387,11 @@ class Table5Row:
     #: True when this row's run was resumed from a checkpoint directory
     #: (crash/SIGTERM recovery) rather than executed start-to-finish.
     resumed: bool = False
+    #: Shard count the scheduled run partitioned its levels into, and
+    #: the per-shard busy seconds summed across levels — attributes
+    #: wall-clock to worker groups, not just levels.
+    shards: int = 1
+    shard_seconds: List[float] = field(default_factory=list)
 
 
 @dataclass
@@ -400,6 +405,18 @@ class Table5Result:
             (row.speedup for row in self.rows if row.executor != "worklist"),
             default=0.0,
         )
+
+
+def _shard_busy_seconds(stats):
+    """Per-shard busy seconds summed over the schedule's level entries
+    (empty for unsharded or worklist runs)."""
+    totals = {}
+    for entry in getattr(stats, "schedule", ()):
+        for shard in entry.get("shards", ()):
+            totals[shard["shard"]] = (
+                totals.get(shard["shard"], 0.0) + shard["seconds"]
+            )
+    return [seconds for _, seconds in sorted(totals.items())]
 
 
 def table5_parallel(corpus_spec=None, jobs=0, settings=None, repeats=1,
@@ -441,6 +458,7 @@ def table5_parallel(corpus_spec=None, jobs=0, settings=None, repeats=1,
             summary_change_threshold=base.summary_change_threshold,
             executor=executor,
             jobs=jobs,
+            shards=base.shards,
             engine=base.engine,
             reuse_models=base.reuse_models,
         )
@@ -488,6 +506,8 @@ def table5_parallel(corpus_spec=None, jobs=0, settings=None, repeats=1,
                     getattr(stats, "resumed", False)
                     or pipeline_result.failures.resumed_from
                 ),
+                shards=getattr(stats, "shards", 1),
+                shard_seconds=_shard_busy_seconds(stats),
             )
         )
     reference_specs = specs_by_executor["serial"]
@@ -496,9 +516,18 @@ def table5_parallel(corpus_spec=None, jobs=0, settings=None, repeats=1,
     table = Table(
         "Table 5. ANEK-INFER executors on the synthetic PMD corpus.",
         ["Executor", "Time", "Build", "Kernel", "Speedup", "Solves",
-         "Annotations", "Cache", "Failures", "Same Specs"],
+         "Annotations", "Shards", "Cache", "Failures", "Same Specs"],
     )
     for row in result.rows:
+        if row.executor == "worklist" or not row.shard_seconds:
+            shard_cell = "-" if row.executor == "worklist" else str(row.shards)
+        else:
+            shard_cell = "%d (%s)" % (
+                row.shards,
+                "/".join(
+                    format_seconds(seconds) for seconds in row.shard_seconds
+                ),
+            )
         table.add_row(
             row.executor,
             format_seconds(row.seconds),
@@ -507,6 +536,7 @@ def table5_parallel(corpus_spec=None, jobs=0, settings=None, repeats=1,
             "%.2fx" % row.speedup,
             row.solves,
             row.annotations,
+            shard_cell,
             "off"
             if row.cache_ratio is None
             else "%.0f%%" % (100.0 * row.cache_ratio),

@@ -34,7 +34,8 @@ The run layer also owns two operational policies:
 * **resource governance** — a soft RSS budget
   (``InferenceSettings.max_rss_mb``) polled at barriers; when exceeded,
   the manager checkpoints first, then sheds the in-memory model cache
-  (rebuilds are bit-identical, so results are unaffected).  ``ENOSPC``
+  *and* the live PFGs (both rebuild/re-hydrate bit-identically, so
+  results are unaffected).  ``ENOSPC``
   or any other ``OSError`` from the journal/snapshot path disables
   persistence for the rest of the run instead of crashing it.
 """
@@ -516,19 +517,33 @@ class CheckpointManager:
         if budget:
             rss = current_rss_mb()
             stats.rss_peak_mb = max(stats.rss_peak_mb, rss)
-            if rss > budget and inference.models.entry_count():
+            pfg_live = getattr(inference.pfgs, "live_count", lambda: 0)()
+            if rss > budget and (
+                inference.models.entry_count() or pfg_live
+            ):
                 self._snapshot(state_fn(), reason="memory")
                 shed = inference.models.shed()
+                # Models alone rarely cover a deep deficit: the PFGs are
+                # the other resident analysis artifact, and the store
+                # re-hydrates them on demand (cache hit or deterministic
+                # rebuild), so evicting them is equally result-neutral.
+                pfg_shed = inference.pfgs.shed() if pfg_live else 0
                 stats.sheds += 1
-                self._append("shed", {"rss_mb": rss, "entries": shed})
+                if pfg_shed:
+                    stats.pfg_sheds += 1
+                self._append(
+                    "shed",
+                    {"rss_mb": rss, "entries": shed, "pfgs": pfg_shed},
+                )
                 inference.failures.add(
                     FailureRecord(
                         stage="resource",
                         key=tag,
                         error="SoftMemoryBudget",
                         message="RSS %.0f MiB over the %d MiB budget; "
-                        "checkpointed, then shed %d cached model(s) "
-                        "(rebuilds are bit-identical)" % (rss, budget, shed),
+                        "checkpointed, then shed %d cached model(s) and "
+                        "%d PFG(s) (rebuilds are bit-identical)"
+                        % (rss, budget, shed, pfg_shed),
                         disposition="memory-shed",
                     )
                 )

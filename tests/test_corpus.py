@@ -176,3 +176,103 @@ class TestTable3Programs:
         branchy = generate_branchy_program(10)
         inlined = generate_inlined_program(10)
         assert branchy.count(".iterator()") == inlined.count(".iterator()")
+
+
+class TestScaleOut:
+    """``scaled(factor)`` with factor > 1: the Table 2 warning-producing
+    pattern mix is frozen while bulk (classes, methods, lines, guarded
+    loops, wrappers) scales, a second protocol family interleaves, and
+    seeded filler call chains densify the call graph."""
+
+    @pytest.fixture(scope="class")
+    def base_spec(self):
+        return CorpusSpec().scaled(0.08)
+
+    @pytest.fixture(scope="class")
+    def big_spec(self, base_spec):
+        return base_spec.scaled(2.0)
+
+    @pytest.fixture(scope="class")
+    def big_bundle(self, big_spec):
+        return generate_pmd_corpus(big_spec)
+
+    @pytest.fixture(scope="class")
+    def big_program(self, big_bundle):
+        return resolve_program(
+            [parse_compilation_unit(s) for s in big_bundle.all_sources()]
+        )
+
+    def test_bulk_scales_but_pattern_mix_is_frozen(
+        self, base_spec, big_spec
+    ):
+        assert big_spec.methods == 2 * base_spec.methods
+        assert big_spec.classes == 2 * base_spec.classes
+        assert big_spec.lines == 2 * base_spec.lines
+        # Warning-producing counts are the invariant core.
+        assert big_spec.unguarded_direct == base_spec.unguarded_direct
+        assert big_spec.wrapper_users == base_spec.wrapper_users
+        assert big_spec.param_consumers == base_spec.param_consumers
+        assert big_spec.misleading_setters == base_spec.misleading_setters
+        # Scale-out knobs engage.
+        assert big_spec.protocol_families >= 2
+        assert big_spec.stream_consumers > 0
+        assert big_spec.filler_call_density > 0
+
+    def test_counts_are_exact(self, big_spec, big_bundle, big_program):
+        api_classes = {
+            "Iterator", "Iterable", "Collection", "ListIterator",
+            "ArrayList", "Stream", "FileSystem", "ByteStream",
+        }
+        assert big_bundle.line_count() == big_spec.lines
+        assert len(big_bundle.sources) == big_spec.classes
+        client_methods = [
+            ref
+            for ref in big_program.all_methods()
+            if ref.class_decl.name not in api_classes
+        ]
+        assert len(client_methods) == big_spec.methods
+
+    def test_stream_family_present(self, big_bundle):
+        assert big_bundle.extra_api_sources
+        assert "stream-consumer" in set(big_bundle.registry.values())
+        assert any(
+            "StreamConsumer" in source for source in big_bundle.sources
+        )
+
+    def test_warning_count_invariant_at_scale(
+        self, big_spec, big_program
+    ):
+        warnings = check_program(big_program)
+        expected = (
+            big_spec.unguarded_direct
+            + 2 * big_spec.wrapper_users
+            + 2 * big_spec.param_consumers
+            + 2  # consumeFirst body
+            + big_spec.misleading_setters
+        )
+        assert len(warnings) == expected
+
+    def test_seeded_determinism(self, big_spec):
+        from dataclasses import replace
+
+        first = generate_pmd_corpus(big_spec)
+        second = generate_pmd_corpus(big_spec)
+        assert first.sources == second.sources
+        other_seed = generate_pmd_corpus(replace(big_spec, seed=1))
+        assert first.sources != other_seed.sources
+
+    def test_filler_call_chains_are_acyclic_references(self, big_bundle):
+        # A filler that calls opN does so only on earlier methods of the
+        # same class, so the synthetic call graph stays a DAG.
+        import re
+
+        for source in big_bundle.sources:
+            if "Filler" not in source:
+                continue
+            for match in re.finditer(r"op(\d+)\(b\);", source):
+                callee = int(match.group(1))
+                caller = int(
+                    source[: match.start()].rsplit("int op", 1)[1]
+                    .split("(", 1)[0]
+                )
+                assert callee < caller

@@ -41,7 +41,6 @@ from repro.core import AnekPipeline, InferenceSettings
 from repro.corpus.iterator_api import ITERATOR_API_SOURCE
 from repro.java.parser import parse_compilation_unit
 from repro.java.symbols import MethodRef, resolve_program
-from repro.plural.checker import check_program
 
 
 def _read_sources(paths, include_api):
@@ -127,7 +126,9 @@ def cmd_infer(args, out):
         from repro.cache import AnalysisCache
 
         cache = AnalysisCache(cache_dir=args.cache_dir)
-    pipeline = AnekPipeline(settings=settings, cache=cache)
+    pipeline = AnekPipeline(
+        settings=settings, cache=cache, check_tier=args.check_tier
+    )
     # SIGTERM/SIGINT drain-and-checkpoint only makes sense with a run
     # directory to checkpoint into; without one, default handling stays.
     shutdown = graceful_shutdown() if run_dir else nullcontext()
@@ -169,6 +170,22 @@ def cmd_infer(args, out):
             ),
             file=out,
         )
+        if stats.check_tier:
+            print(
+                "check: tier=%s %.3f s (tier1 %d method(s)/%d site(s) "
+                "%.3f s, tier2 %d method(s)/%d site(s) %.3f s)"
+                % (
+                    stats.check_tier,
+                    stats.check_seconds,
+                    stats.check_tier1_methods,
+                    stats.check_tier1_sites,
+                    stats.check_tier1_seconds,
+                    stats.check_tier2_methods,
+                    stats.check_tier2_sites,
+                    stats.check_tier2_seconds,
+                ),
+                file=out,
+            )
     print("", file=out)
     print("Inferred specifications:", file=out)
     for ref, spec in sorted(
@@ -259,6 +276,7 @@ def cmd_client(args, out):
         request["sources"] = _read_sources(args.files, False)
         request["api"] = args.api
         request["no_cache"] = not args.use_cache
+        request["check_tier"] = args.check_tier
         if args.deadline:
             request["deadline"] = args.deadline
         if args.op == "infer":
@@ -305,18 +323,93 @@ def cmd_client(args, out):
     return EXIT_FATAL
 
 
+def _apply_cached_specs(program, run_dir, threshold):
+    """Reuse a completed ``infer --run-dir`` run's final marginals:
+    re-extract specs at ``threshold`` and apply them to ``program``
+    without re-running inference.  Returns an error string, or None."""
+    import json
+    import os
+
+    from repro.cache.fingerprints import program_digest
+    from repro.core.applier import apply_specs
+    from repro.core.extract import extract_program_specs
+    from repro.core.priors import SpecEnvironment
+    from repro.core.summaries import TargetMarginal
+    from repro.resilience.checkpoint import META_NAME, latest_valid_snapshot
+
+    meta_path = os.path.join(run_dir, META_NAME)
+    try:
+        with open(meta_path, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+    except FileNotFoundError:
+        return "%s is not a run directory (no %s)" % (run_dir, META_NAME)
+    except (OSError, ValueError) as exc:
+        return "unreadable run metadata %s (%s: %s)" % (
+            meta_path,
+            type(exc).__name__,
+            exc,
+        )
+    if meta.get("program") != program_digest(program):
+        return (
+            "run directory %s was recorded for a different program; pass "
+            "the same sources (and --api setting) the infer run used"
+            % run_dir
+        )
+    name, state = latest_valid_snapshot(run_dir)
+    if state is None:
+        return "run directory %s has no valid snapshot" % run_dir
+    if not state.get("complete"):
+        return (
+            "run directory %s holds an interrupted run (snapshot %s); "
+            "finish it first with: repro infer --resume %s"
+            % (run_dir, name, run_dir)
+        )
+    table = program.method_key_table()
+    results = {}
+    for key, boundary in state["results"]:
+        ref = table.get(key)
+        if ref is None:
+            continue
+        results[ref] = {
+            tuple(slot_target): TargetMarginal.from_payload(payload)
+            for slot_target, payload in boundary
+        }
+    # Methods inference never produced marginals for (quarantined, or
+    # outside the inference set) get an empty boundary: empty spec.
+    for ref in program.methods_with_bodies():
+        results.setdefault(ref, {})
+    specs = extract_program_specs(
+        program, results, SpecEnvironment(program), threshold=threshold
+    )
+    apply_specs(program, specs)
+    return None
+
+
 def cmd_check(args, out):
+    from repro.plural.checker import run_check
+
     program = resolve_program(
         [
             parse_compilation_unit(source)
             for source in _read_sources(args.files, args.api)
         ]
     )
-    warnings = check_program(program)
-    for warning in warnings:
+    if args.run_dir is not None:
+        error = _apply_cached_specs(program, args.run_dir, args.threshold)
+        if error is not None:
+            print("repro check: error: %s" % error, file=sys.stderr)
+            return EXIT_USAGE
+    try:
+        run = run_check(program, tier=args.check_tier)
+    except RuntimeError as exc:
+        print("repro check: error: %s" % exc, file=sys.stderr)
+        return EXIT_USAGE
+    for warning in run.warnings:
         print(warning.format(), file=out)
-    print("%d warning(s)" % len(warnings), file=out)
-    return 0 if not warnings else 1
+    print("%d warning(s)" % len(run.warnings), file=out)
+    if args.check_stats:
+        print(run.describe(), file=out)
+    return 0 if not run.warnings else 1
 
 
 def cmd_pfg(args, out):
@@ -620,6 +713,12 @@ def build_parser():
                        choices=("loopy", "compiled"),
                        help="BP engine: the compiled flat-array kernel "
                             "(default) or the per-message loopy reference")
+    infer.add_argument("--check-tier", default="auto",
+                       choices=("full", "bitvector", "auto"),
+                       help="checker dispatch for the final PLURAL pass: "
+                            "bit-vector fast path with residue routing "
+                            "(auto, default) or the full checker (full); "
+                            "warnings are bit-identical across tiers")
     infer.add_argument("--emit-source", action="store_true",
                        help="print the annotated sources")
     infer.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
@@ -732,6 +831,9 @@ def build_parser():
     client.add_argument("--timeout", metavar="SECONDS",
                         type=_nonnegative_seconds("--timeout"), default=0.0,
                         help="client socket timeout (0 = wait forever)")
+    client.add_argument("--check-tier", default="auto",
+                        choices=("full", "bitvector", "auto"),
+                        help="checker dispatch for the served check/infer")
     client.add_argument("--marginals", action="store_true",
                         help="include raw boundary marginals in the result")
     client.add_argument("--json", action="store_true",
@@ -741,6 +843,24 @@ def build_parser():
     check = sub.add_parser("check", help="run the PLURAL checker")
     check.add_argument("files", nargs="+")
     check.add_argument("--no-api", dest="api", action="store_false")
+    check.add_argument("--check-tier", default="auto",
+                       choices=("full", "bitvector", "auto"),
+                       help="checker dispatch: the bit-vector fast path "
+                            "with full-checker residue routing (auto, "
+                            "default), tier 1 required (bitvector), or "
+                            "the full checker only (full); warnings are "
+                            "bit-identical across tiers")
+    check.add_argument("--run-dir", metavar="DIR", default=None,
+                       help="reuse a completed 'infer --run-dir DIR' run: "
+                            "re-extract its inferred specs from the final "
+                            "snapshot and check them without re-running "
+                            "inference (sources must match that run)")
+    check.add_argument("--threshold", type=_threshold, default=0.5,
+                       help="extraction threshold for --run-dir spec "
+                            "re-extraction; must match the infer run "
+                            "(default: %(default)s)")
+    check.add_argument("--check-stats", action="store_true",
+                       help="print the per-tier method/site/timing split")
     check.set_defaults(run=cmd_check)
 
     pfg = sub.add_parser("pfg", help="print a method's permission flow graph")

@@ -224,6 +224,19 @@ class InferenceStats:
     #: Journal/snapshot writes that failed (ENOSPC etc.) and degraded
     #: the run to no-persist.
     persist_errors: int = 0
+    #: Checker-stage split (the build/kernel/cache stages above all have
+    #: dedicated timings; the checker gets the same treatment).  ``check_tier``
+    #: is the tier that actually ran ("" when the checker was skipped);
+    #: tier-1 is the vectorized bit-vector pass, tier-2 the full
+    #: fractional-permission checker over the residue.
+    check_tier: str = ""
+    check_seconds: float = 0.0
+    check_tier1_seconds: float = 0.0
+    check_tier2_seconds: float = 0.0
+    check_tier1_methods: int = 0
+    check_tier2_methods: int = 0
+    check_tier1_sites: int = 0
+    check_tier2_sites: int = 0
 
     def to_payload(self):
         """The stats as plain JSON-serializable data (the serving layer

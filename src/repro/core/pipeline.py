@@ -18,7 +18,7 @@ from repro.core.heuristics import HeuristicConfig
 from repro.core.infer import AnekInference, InferenceSettings
 from repro.java.parser import parse_compilation_unit
 from repro.java.symbols import resolve_program
-from repro.plural.checker import PluralChecker
+from repro.plural.checker import run_check
 from repro.resilience.faults import maybe_fault
 from repro.resilience.report import FailureReport
 
@@ -145,13 +145,18 @@ class AnekPipeline:
     """Drives parse -> infer -> apply -> check."""
 
     def __init__(self, config=None, settings=None, run_checker=True,
-                 apply_annotations=True, cache=None):
+                 apply_annotations=True, cache=None, check_tier="auto"):
         self.config = config or HeuristicConfig()
         self.settings = settings or InferenceSettings()
         self.run_checker = run_checker
         self.apply_annotations = apply_annotations
         #: An :class:`repro.cache.AnalysisCache`, or None (no persistence).
         self.cache = cache
+        #: Checker dispatch: "full" runs the fractional-permission
+        #: checker on every method, "bitvector"/"auto" prove what they
+        #: can with the vectorized tier-1 pass first.  Warning output is
+        #: bit-identical across tiers.
+        self.check_tier = check_tier
 
     def _parse_units(self, sources, result):
         """Parse every source under isolation: a unit whose lex/parse
@@ -377,9 +382,35 @@ class AnekPipeline:
         if self.run_checker:
             start = time.perf_counter()
             try:
-                checker = PluralChecker(program)
-                result.warnings = checker.check_program()
-                detail = "%d warnings" % len(result.warnings)
+                check = run_check(
+                    program,
+                    tier=self.check_tier,
+                    failures=result.failures,
+                )
+                result.warnings = check.warnings
+                detail = "%d warnings, tier=%s" % (
+                    len(result.warnings),
+                    check.tier,
+                )
+                if check.tier != "full":
+                    detail += (
+                        ", tier1 %d method(s)/%d site(s), tier2 %d/%d"
+                        % (
+                            check.tier1_methods,
+                            check.tier1_sites,
+                            check.tier2_methods,
+                            check.tier2_sites,
+                        )
+                    )
+                if stats is not None:
+                    stats.check_tier = check.tier
+                    stats.check_seconds = check.total_seconds
+                    stats.check_tier1_seconds = check.tier1_seconds
+                    stats.check_tier2_seconds = check.tier2_seconds
+                    stats.check_tier1_methods = check.tier1_methods
+                    stats.check_tier2_methods = check.tier2_methods
+                    stats.check_tier1_sites = check.tier1_sites
+                    stats.check_tier2_sites = check.tier2_sites
             except Exception as exc:
                 if not policy.enabled:
                     raise

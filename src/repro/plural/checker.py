@@ -18,6 +18,9 @@ unannotated code, unknown receivers) yields *no* permission, and uses of
 permission-less references raise warnings.
 """
 
+import time
+from dataclasses import dataclass, field
+
 from repro.analysis import ir
 from repro.analysis.cfg import build_cfg
 from repro.analysis.dataflow import ForwardAnalysis
@@ -534,3 +537,155 @@ class PluralChecker:
 def check_program(program, default_this_kind=kinds.FULL):
     """Convenience wrapper: check the whole program."""
     return PluralChecker(program, default_this_kind).check_program()
+
+
+# ---------------------------------------------------------------------------
+# Tiered checking
+# ---------------------------------------------------------------------------
+
+CHECK_TIERS = ("full", "bitvector", "auto")
+
+
+@dataclass
+class CheckRun:
+    """Outcome of a (possibly tiered) whole-program check.
+
+    ``warnings`` is always bit-identical to the full checker's output:
+    tier 1 only ever *proves* whole methods warning-free; every method it
+    cannot prove is re-checked by the unmodified full checker, in program
+    order.
+    """
+
+    warnings: list
+    tier: str
+    tier1_methods: int = 0
+    tier2_methods: int = 0
+    tier1_sites: int = 0
+    tier2_sites: int = 0
+    tier1_seconds: float = 0.0
+    tier2_seconds: float = 0.0
+    residue_reasons: dict = field(default_factory=dict)
+
+    @property
+    def total_seconds(self):
+        return self.tier1_seconds + self.tier2_seconds
+
+    @property
+    def site_coverage(self):
+        total = self.tier1_sites + self.tier2_sites
+        return self.tier1_sites / total if total else 1.0
+
+    def describe(self):
+        if self.tier == "full":
+            return "check: tier=full, %d method(s), %.3f s" % (
+                self.tier2_methods,
+                self.tier2_seconds,
+            )
+        reasons = ", ".join(
+            "%s=%d" % (reason, count)
+            for reason, count in sorted(self.residue_reasons.items())
+        )
+        return (
+            "check: tier=%s, tier1 %d method(s)/%d site(s) in %.3f s, "
+            "tier2 %d method(s)/%d site(s) in %.3f s%s"
+            % (
+                self.tier,
+                self.tier1_methods,
+                self.tier1_sites,
+                self.tier1_seconds,
+                self.tier2_methods,
+                self.tier2_sites,
+                self.tier2_seconds,
+                " (%s)" % reasons if reasons else "",
+            )
+        )
+
+
+def run_check(
+    program, tier="auto", default_this_kind=kinds.FULL, failures=None
+):
+    """Check the program through the requested tier; returns a CheckRun.
+
+    ``tier``:
+
+    * ``"full"`` — the fractional-permission checker on every method;
+    * ``"bitvector"`` — tier-1 bit-vector proving with full-checker
+      residue routing; an error if numpy is unavailable;
+    * ``"auto"`` — ``bitvector`` when numpy is available, else ``full``.
+
+    All three produce bit-identical warning lists.  ``failures`` is an
+    optional :class:`repro.resilience.report.FailureReport`; tier-1
+    faults (injected or real) degrade the affected methods to the full
+    checker and are recorded there with a ``tier-fallback`` disposition.
+    """
+    if tier not in CHECK_TIERS:
+        raise ValueError(
+            "unknown check tier %r (choose from %s)" % (tier, "/".join(CHECK_TIERS))
+        )
+    checker = PluralChecker(program, default_this_kind)
+    methods = list(program.methods_with_bodies())
+    use_bitvector = tier != "full"
+    if use_bitvector:
+        from repro.plural import bitvector
+
+        if not bitvector.available():
+            if tier == "bitvector":
+                raise RuntimeError(
+                    "--check-tier bitvector requires numpy; "
+                    "use --check-tier full or auto"
+                )
+            use_bitvector = False
+    if not use_bitvector:
+        start = time.perf_counter()
+        warnings = []
+        for method_ref in methods:
+            warnings.extend(checker.check_method(method_ref))
+        return CheckRun(
+            warnings=warnings,
+            tier="full",
+            tier2_methods=len(methods),
+            tier2_seconds=time.perf_counter() - start,
+        )
+
+    tier1_start = time.perf_counter()
+    outcome = None
+    try:
+        engine = bitvector.BitVectorChecker(checker)
+        outcome = engine.partition(methods, failures=failures)
+    except Exception as exc:
+        # A whole-tier crash degrades every method to the full checker;
+        # the run stays bit-identical to a full-tier run.
+        if failures is not None:
+            failures.record("check", "tier1", exc, "tier-fallback")
+    tier1_seconds = time.perf_counter() - tier1_start
+
+    tier2_start = time.perf_counter()
+    warnings = []
+    if outcome is None:
+        residue_refs = methods
+        run = CheckRun(
+            warnings=warnings,
+            tier=tier,
+            tier2_methods=len(methods),
+            residue_reasons={"tier1-crash": len(methods)},
+            tier1_seconds=tier1_seconds,
+        )
+    else:
+        residue_refs = [ref for ref, _reason in outcome.residue]
+        run = CheckRun(
+            warnings=warnings,
+            tier=tier,
+            tier1_methods=len(outcome.proven),
+            tier2_methods=len(residue_refs),
+            tier1_sites=outcome.tier1_sites,
+            tier2_sites=outcome.tier2_sites,
+            tier1_seconds=tier1_seconds,
+            residue_reasons=dict(outcome.residue_reasons),
+        )
+    # Tier-1-proven methods contribute zero warnings; the residue is
+    # re-checked in program order, so concatenation preserves the full
+    # checker's warning order exactly.
+    for method_ref in residue_refs:
+        warnings.extend(checker.check_method(method_ref))
+    run.tier2_seconds = time.perf_counter() - tier2_start
+    return run

@@ -34,7 +34,7 @@ from repro.corpus.oracle import (
 from repro.java.parser import parse_compilation_unit
 from repro.java.symbols import resolve_program
 from repro.permissions import kinds
-from repro.plural.checker import check_program
+from repro.plural.checker import run_check
 from repro.plural.local_inference import LocalFractionInference
 from repro.reporting.tables import Table, format_seconds
 
@@ -47,10 +47,12 @@ from repro.reporting.tables import Table, format_seconds
 class PmdExperiment:
     """Runs the Table 1/2/4 experiments over one generated corpus."""
 
-    def __init__(self, corpus_spec=None, settings=None, logical_budget=None):
+    def __init__(self, corpus_spec=None, settings=None, logical_budget=None,
+                 check_tier="auto"):
         self.bundle = generate_pmd_corpus(corpus_spec)
         self.settings = settings or InferenceSettings()
         self.logical_budget = logical_budget
+        self.check_tier = check_tier
         self._anek_result = None
         self._anek_seconds = None
 
@@ -121,37 +123,41 @@ class PmdExperiment:
 
     def run_original(self):
         program = self.fresh_program()
-        start = time.perf_counter()
-        warnings = check_program(program)
-        return Table2Row(
-            "Original", 0, len(warnings), time.perf_counter() - start,
+        check = run_check(program, tier=self.check_tier)
+        row = Table2Row(
+            "Original", 0, len(check.warnings), check.total_seconds,
             annotation_seconds=0.0,
         )
+        _attach_check(row, check)
+        return row
 
     def run_bierhoff(self):
         program = self.fresh_program()
         annotated = apply_oracle(program, self.bundle)
-        start = time.perf_counter()
-        warnings = check_program(program)
-        return Table2Row(
+        check = run_check(program, tier=self.check_tier)
+        row = Table2Row(
             "Bierhoff (oracle)",
             annotated,
-            len(warnings),
-            time.perf_counter() - start,
+            len(check.warnings),
+            check.total_seconds,
             annotation_seconds=MANUAL_ANNOTATION_MINUTES * 60.0,
             note="annotation time simulated per Bierhoff's thesis",
         )
+        _attach_check(row, check)
+        return row
 
     def run_anek(self):
         program = self.fresh_program()
         start = time.perf_counter()
-        pipeline = AnekPipeline(settings=self.settings)
+        pipeline = AnekPipeline(
+            settings=self.settings, check_tier=self.check_tier
+        )
         result = pipeline.run_on_program(program)
         elapsed = time.perf_counter() - start
         self._anek_result = result
         self._anek_seconds = elapsed
         stats = result.inference_stats
-        return Table2Row(
+        row = Table2Row(
             "Anek",
             result.inferred_annotation_count,
             len(result.warnings),
@@ -164,6 +170,12 @@ class PmdExperiment:
             note="(build %.2fs + kernel %.2fs)"
             % (stats.build_seconds, stats.solve_seconds),
         )
+        row.check_tier = stats.check_tier
+        row.tier1_sites = stats.check_tier1_sites
+        row.tier2_sites = stats.check_tier2_sites
+        row.tier1_seconds = stats.check_tier1_seconds
+        row.tier2_seconds = stats.check_tier2_seconds
+        return row
 
     def run_anek_logical(self):
         program = self.fresh_program()
@@ -196,7 +208,8 @@ class PmdExperiment:
         ]
         table = Table(
             "Table 2. The results of running ANEK on the synthetic PMD corpus.",
-            ["Method", "Annotations", "Warnings", "Time Taken", "Notes"],
+            ["Method", "Annotations", "Warnings", "Time Taken",
+             "Check (T1/T2)", "Notes"],
         )
         paper = {
             "Original": (0, 45, "0"),
@@ -216,6 +229,7 @@ class PmdExperiment:
                 "N/A" if row.annotations is None else row.annotations,
                 "N/A" if row.warnings is None else row.warnings,
                 time_text,
+                row.check_cell,
                 "paper: %s/%s/%s %s"
                 % (expected[0], expected[1], expected[2], row.note or ""),
             )
@@ -268,6 +282,40 @@ class Table2Row:
     annotation_seconds: float = 0.0
     dnf: bool = False
     note: str = ""
+    #: Checker dispatch tier and the tier-1/tier-2 split: how many call
+    #: sites the vectorized bit-vector pass proved versus how many fell
+    #: through to the full fractional-permission checker, with the wall
+    #: clock spent in each.  Empty tier means the row never ran a check.
+    check_tier: str = ""
+    tier1_sites: int = 0
+    tier2_sites: int = 0
+    tier1_seconds: float = 0.0
+    tier2_seconds: float = 0.0
+
+    @property
+    def check_cell(self):
+        """The per-tier ``Check (T1/T2)`` table cell for this row."""
+        if not self.check_tier:
+            return "-"
+        if self.check_tier == "full":
+            return "full"
+        return "%d/%d sites, %s/%s" % (
+            self.tier1_sites,
+            self.tier2_sites,
+            format_seconds(self.tier1_seconds),
+            format_seconds(self.tier2_seconds),
+        )
+
+
+def _attach_check(row, check):
+    """Copy a :class:`repro.plural.checker.CheckRun`'s tier split onto a
+    Table 2 row."""
+    row.check_tier = check.tier
+    row.tier1_sites = check.tier1_sites
+    row.tier2_sites = check.tier2_sites
+    row.tier1_seconds = check.tier1_seconds
+    row.tier2_seconds = check.tier2_seconds
+    return row
 
 
 # ---------------------------------------------------------------------------

@@ -72,6 +72,7 @@ STAGES = (
     "journal",
     "worker-recover",
     "serve",
+    "check",
 )
 
 

@@ -23,6 +23,7 @@ STAGES = (
     "applier",
     "plural-check",
     "serve",
+    "check",
 )
 
 #: What became of the failing unit of work.
@@ -58,6 +59,10 @@ DISPOSITIONS = (
     #: the requester got a failure response, the daemon kept serving.
     "request-failed",
     "request-expired",
+    #: A tier-1 (bit-vector) check fault degraded the affected methods
+    #: to the full fractional-permission checker — warnings are still
+    #: bit-identical to a clean run, so this is not a degradation.
+    "tier-fallback",
 )
 
 

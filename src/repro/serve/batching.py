@@ -47,6 +47,7 @@ WORK_FIELDS = (
     "jobs",
     "no_cache",
     "deadline",
+    "check_tier",
 )
 
 

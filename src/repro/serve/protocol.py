@@ -148,7 +148,11 @@ REQUEST_DEFAULTS = {
     "no_cache": False,
     "deadline": 0.0,
     "include_marginals": False,
+    "check_tier": "auto",
 }
+
+#: Checker dispatch tiers (mirrors the CLI's ``--check-tier``).
+CHECK_TIERS = ("full", "bitvector", "auto")
 
 
 def normalize_request(payload):
@@ -204,6 +208,11 @@ def normalize_request(payload):
     ):
         raise ProtocolError("deadline must be a number of seconds >= 0")
     request["deadline"] = float(request["deadline"])
+    if request["check_tier"] not in CHECK_TIERS:
+        raise ProtocolError(
+            "unknown check_tier %r (expected one of %s)"
+            % (request["check_tier"], ", ".join(CHECK_TIERS))
+        )
     for flag in ("api", "no_cache", "include_marginals"):
         if not isinstance(request[flag], bool):
             raise ProtocolError("%s must be a boolean" % flag)

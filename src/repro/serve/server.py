@@ -50,7 +50,7 @@ from repro.core import AnekPipeline, InferenceSettings
 from repro.corpus.iterator_api import ITERATOR_API_SOURCE
 from repro.java.parser import parse_compilation_unit
 from repro.java.symbols import resolve_program
-from repro.plural.checker import check_program
+from repro.plural.checker import run_check
 from repro.resilience.faults import maybe_fault
 from repro.resilience.policy import ResiliencePolicy
 from repro.resilience.report import FailureReport
@@ -439,15 +439,24 @@ class AnekServer:
             program = resolve_program(
                 [parse_compilation_unit(source) for source in sources]
             )
-            warnings = check_program(program)
+            check = run_check(program, tier=request["check_tier"])
             return {
                 "status": "ok",
                 "result": {
-                    "warnings": [warning.format() for warning in warnings],
-                    "count": len(warnings),
+                    "warnings": [w.format() for w in check.warnings],
+                    "count": len(check.warnings),
                 },
                 "stats": {
                     "elapsed_seconds": time.perf_counter() - started,
+                    "check": {
+                        "tier": check.tier,
+                        "tier1_methods": check.tier1_methods,
+                        "tier2_methods": check.tier2_methods,
+                        "tier1_sites": check.tier1_sites,
+                        "tier2_sites": check.tier2_sites,
+                        "tier1_seconds": check.tier1_seconds,
+                        "tier2_seconds": check.tier2_seconds,
+                    },
                 },
             }
         settings = InferenceSettings(
@@ -465,7 +474,9 @@ class AnekServer:
             # (write-once, atomic — concurrency-safe), while stats stay
             # an unpolluted per-request delta.
             cache = AnalysisCache(cache_dir=self.cache_dir)
-        pipeline = AnekPipeline(settings=settings, cache=cache)
+        pipeline = AnekPipeline(
+            settings=settings, cache=cache, check_tier=request["check_tier"]
+        )
         result = pipeline.run_on_sources(sources)
         stats = result.inference_stats
         executed = {

@@ -102,6 +102,22 @@ def test_bench_serve(benchmark):
                         == golden
                     )
 
+            # Replay hits: the same idempotency key re-asked, answered
+            # verbatim from the completed-response store — no batch
+            # planning, no solve, not even a cache read.
+            replay = []
+            with ServeClient(server.address) as client:
+                seeded = client.infer([program], idem="bench-replay")
+                assert seeded["status"] == "ok"
+                for _ in range(REQUESTS_PER_CLIENT):
+                    start = time.perf_counter()
+                    response = client.infer([program], idem="bench-replay")
+                    replay.append(time.perf_counter() - start)
+                    assert (
+                        json.dumps(response["result"], sort_keys=True)
+                        == golden
+                    )
+
             # Concurrent load: CLIENTS threads, one connection each.
             latencies = []
             mismatches = []
@@ -142,12 +158,17 @@ def test_bench_serve(benchmark):
         finally:
             server.initiate_shutdown()
             server.wait()
-        return cold_cli, warm_solo, latencies, wall, stats
+        return cold_cli, warm_solo, replay, latencies, wall, stats
 
     try:
-        cold_cli, warm_solo, latencies, wall, stats = benchmark.pedantic(
-            run, rounds=1, iterations=1
-        )
+        (
+            cold_cli,
+            warm_solo,
+            replay,
+            latencies,
+            wall,
+            stats,
+        ) = benchmark.pedantic(run, rounds=1, iterations=1)
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
 
@@ -160,6 +181,12 @@ def test_bench_serve(benchmark):
             "p50_seconds": solo_p50,
             "p99_seconds": _percentile(warm_solo, 0.99),
             "requests": len(warm_solo),
+        },
+        "replay_hit": {
+            "p50_seconds": _percentile(replay, 0.5),
+            "p99_seconds": _percentile(replay, 0.99),
+            "requests": len(replay),
+            "replays": stats["replay"]["replays"],
         },
         "concurrent": {
             "clients": CLIENTS,
@@ -182,6 +209,14 @@ def test_bench_serve(benchmark):
             solo_p50,
             report["warm_solo"]["p99_seconds"],
             report["warm_served_speedup_vs_cold_cli"],
+        )
+    )
+    print(
+        "  replay hit        p50 %.4fs  p99 %.4fs  (%d replays served)"
+        % (
+            report["replay_hit"]["p50_seconds"],
+            report["replay_hit"]["p99_seconds"],
+            report["replay_hit"]["replays"],
         )
     )
     print(

@@ -22,7 +22,8 @@ Exit codes: 0 = clean run; 1 = ``check`` found warnings; 2 = the run
 completed but quarantined/degraded some work (see ``--fail-report``);
 3 = usage error; 4 = fatal internal error (one-line summary on stderr,
 full traceback with ``--debug``); 5 = interrupted at a checkpoint —
-resumable with ``--resume``.
+resumable with ``--resume``; 6 = ``serve --supervise`` gave up on a
+crash-looping daemon.
 """
 
 import argparse
@@ -35,6 +36,8 @@ EXIT_DEGRADED = 2
 EXIT_USAGE = 3
 EXIT_FATAL = 4
 EXIT_INTERRUPTED = 5
+#: Mirrors :data:`repro.serve.supervisor.EXIT_CRASHLOOP`.
+EXIT_CRASHLOOP = 6
 
 from repro.cache import DEFAULT_CACHE_DIR
 from repro.core import AnekPipeline, InferenceSettings
@@ -206,7 +209,7 @@ def cmd_infer(args, out):
 
 
 def cmd_serve(args, out):
-    from repro.serve import AnekServer
+    from repro.serve import AnekServer, ServeAddressInUse
 
     if args.socket is not None and args.port is not None:
         print(
@@ -214,6 +217,8 @@ def cmd_serve(args, out):
             file=sys.stderr,
         )
         return EXIT_USAGE
+    if args.supervise:
+        return _cmd_serve_supervised(args, out)
     port = args.port
     if args.socket is None and port is None:
         port = 0  # loopback TCP on an ephemeral port, printed at boot
@@ -227,8 +232,51 @@ def cmd_serve(args, out):
         batch_window=args.batch_window,
         batch_max=args.batch_max,
         policy=_build_policy(args),
+        max_rss_mb=args.max_rss_mb,
+        heartbeat_path=args.heartbeat,
     )
-    return server.run_forever(out=out)
+    try:
+        return server.run_forever(out=out)
+    except ServeAddressInUse as exc:
+        print("repro serve: error: %s" % exc, file=sys.stderr)
+        return EXIT_USAGE
+
+
+def _cmd_serve_supervised(args, out):
+    """``repro serve --supervise``: run the restart loop around a child
+    daemon that is this exact command line minus the supervision flags."""
+    from repro.serve import ServeSupervisor, build_child_argv
+
+    if args.socket is None and not args.port:
+        # A supervised daemon must come back at the *same* address or
+        # restarts would strand every reconnecting client.
+        print(
+            "repro serve: error: --supervise requires a fixed address "
+            "(--socket PATH or --port N, N > 0)",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    import tempfile
+
+    heartbeat = args.heartbeat
+    if heartbeat is None:
+        heartbeat = (
+            args.socket + ".heartbeat"
+            if args.socket is not None
+            else "%s/anek-serve-%d.heartbeat"
+            % (tempfile.gettempdir(), args.port)
+        )
+    supervisor = ServeSupervisor(
+        build_child_argv(),
+        heartbeat_path=heartbeat,
+        max_restarts=args.max_restarts,
+        restart_window=args.restart_window,
+        backoff=args.restart_backoff,
+        backoff_max=args.restart_backoff_max,
+        ledger_path=args.supervisor_ledger,
+        out=out,
+    )
+    return supervisor.run()
 
 
 def _print_served_infer(response, out):
@@ -290,7 +338,12 @@ def cmd_client(args, out):
                 include_marginals=args.marginals,
             )
     try:
-        with ServeClient(args.connect, timeout=args.timeout or None) as client:
+        with ServeClient(
+            args.connect,
+            timeout=args.timeout or None,
+            retries=args.retries,
+            call_deadline=args.call_deadline,
+        ) as client:
             response = client.call(request)
     except ServeError as exc:
         print("repro: error: %s" % exc, file=sys.stderr)
@@ -802,14 +855,48 @@ def build_parser():
                             "(default: %(default)s)")
     serve.add_argument("--no-cache", dest="use_cache", action="store_false",
                        help="serve without the persistent analysis cache")
+    serve.add_argument("--max-rss-mb", metavar="MB",
+                       type=_nonnegative_count("--max-rss-mb"), default=0,
+                       help="soft RSS budget: shed new requests with a "
+                            "retryable 'overloaded' status while exceeded "
+                            "(0 = no budget)")
+    serve.add_argument("--heartbeat", metavar="PATH", default=None,
+                       help="touch PATH every second as a liveness signal "
+                            "(set automatically under --supervise)")
+    serve.add_argument("--supervise", action="store_true",
+                       help="run under the self-healing supervisor: fork "
+                            "the daemon, restart it when it crashes or its "
+                            "heartbeat goes stale, give up (exit 6) on a "
+                            "crash loop; requires a fixed address")
+    serve.add_argument("--max-restarts", metavar="N",
+                       type=_positive_count("--max-restarts"), default=5,
+                       help="crash-loop bar: restarts tolerated inside "
+                            "--restart-window before the supervisor gives "
+                            "up (default: %(default)s)")
+    serve.add_argument("--restart-window", metavar="SECONDS",
+                       type=_nonnegative_seconds("--restart-window"),
+                       default=30.0,
+                       help="crash-loop window (default: %(default)s)")
+    serve.add_argument("--restart-backoff", metavar="SECONDS",
+                       type=_nonnegative_seconds("--restart-backoff"),
+                       default=0.2,
+                       help="initial restart backoff, doubled per restart "
+                            "(default: %(default)s)")
+    serve.add_argument("--restart-backoff-max", metavar="SECONDS",
+                       type=_nonnegative_seconds("--restart-backoff-max"),
+                       default=5.0,
+                       help="restart backoff cap (default: %(default)s)")
+    serve.add_argument("--supervisor-ledger", metavar="PATH", default=None,
+                       help="mirror the supervisor's lifecycle event "
+                            "ledger to PATH as JSON after every event")
     serve.set_defaults(run=cmd_serve)
 
     client = sub.add_parser(
         "client", help="send one request to a running repro serve daemon"
     )
     client.add_argument("op",
-                        choices=("infer", "check", "ping", "stats",
-                                 "shutdown"))
+                        choices=("infer", "check", "ping", "health",
+                                 "stats", "shutdown"))
     client.add_argument("files", nargs="*")
     client.add_argument("--connect", metavar="ADDRESS", required=True,
                         help="daemon address: a Unix socket path or "
@@ -831,6 +918,18 @@ def build_parser():
     client.add_argument("--timeout", metavar="SECONDS",
                         type=_nonnegative_seconds("--timeout"), default=0.0,
                         help="client socket timeout (0 = wait forever)")
+    client.add_argument("--retries", metavar="N",
+                        type=_nonnegative_count("--retries"), default=0,
+                        help="reconnect-and-retry attempts after a "
+                            "connection drop or retryable refusal, with "
+                            "an idempotency key so completed work is "
+                            "replayed, never re-executed (default: "
+                            "%(default)s = single attempt)")
+    client.add_argument("--call-deadline", metavar="SECONDS",
+                        type=_nonnegative_seconds("--call-deadline"),
+                        default=0.0,
+                        help="overall budget for one call across all "
+                            "retries (0 = none)")
     client.add_argument("--check-tier", default="auto",
                         choices=("full", "bitvector", "auto"),
                         help="checker dispatch for the served check/infer")

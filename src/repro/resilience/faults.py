@@ -62,6 +62,15 @@ KINDS = ("raise", "nan", "delay", "kill", "killproc")
 #: and ``serve`` inside the daemon's request handler (the key is
 #: ``req:<id>:<work fingerprint prefix>``) — a fault there must cost
 #: exactly one response, never the daemon.
+#:
+#: The **server-kill** sites arm whole-daemon chaos: ``serve-admit``
+#: fires in the front end after a request is admitted but before any
+#: response exists, and ``serve-respond`` fires after execution, after
+#: the replay store, *before* the response frame is written.  A
+#: ``killproc`` fault at either SIGKILLs the daemon at the two nastiest
+#: points of the request lifecycle; with the supervisor restarting it
+#: and idempotent client retries, both must still converge to every
+#: request succeeding (``tests/test_serve_chaos.py``).
 STAGES = (
     "parse",
     "pfg",
@@ -72,6 +81,8 @@ STAGES = (
     "journal",
     "worker-recover",
     "serve",
+    "serve-admit",
+    "serve-respond",
     "check",
 )
 

@@ -59,6 +59,10 @@ DISPOSITIONS = (
     #: the requester got a failure response, the daemon kept serving.
     "request-failed",
     "request-expired",
+    #: A served request was refused at admission because the daemon was
+    #: over its RSS budget — nothing executed, the refusal is retryable,
+    #: and shedding (instead of OOMing) is what kept the daemon up.
+    "request-shed",
     #: A tier-1 (bit-vector) check fault degraded the affected methods
     #: to the full fractional-permission checker — warnings are still
     #: bit-identical to a clean run, so this is not a degradation.

@@ -4,16 +4,48 @@ Addresses are strings: a filesystem path (Unix socket) or
 ``tcp:HOST:PORT`` — exactly what the daemon prints as ``serving on
 <address>`` at startup.  One client holds one connection and issues one
 request at a time; concurrency tests simply open one client per thread.
+
+Failure semantics (DESIGN §15).  With ``retries=0`` (the default) a
+call is one attempt: any connection failure closes and discards the
+socket — the next call reconnects instead of deadlocking on a desynced
+frame stream — and raises :class:`ServeError`.  With ``retries > 0``
+the client becomes self-healing:
+
+* every ``infer``/``check`` call carries a client-generated
+  **idempotency key**, constant across its retries, so a retried
+  request after a connection drop is *replayed* by the daemon from its
+  completed-response store instead of re-executed (at-most-once);
+* connection failures reconnect and retry under **capped exponential
+  backoff with jitter**, bounded by both the attempt budget and an
+  optional per-call overall ``call_deadline``;
+* retryable refusals (``rejected``/``overloaded`` — the daemon never
+  started the work) are retried the same way; execution outcomes are
+  final and returned as-is;
+* a **circuit breaker** counts consecutive connection-level failures;
+  past ``breaker_threshold`` it opens and new calls fail fast for
+  ``breaker_cooldown`` seconds, then a half-open probe call decides
+  between closing it (success) and re-opening it (failure).
 """
 
+import os
+import random
 import socket
 import time
+import uuid
 
-from repro.serve.protocol import recv_message, send_message
+from repro.serve.protocol import (
+    RETRYABLE_STATUSES,
+    recv_message,
+    send_message,
+)
 
 
 class ServeError(ConnectionError):
     """The daemon is unreachable or hung up mid-request."""
+
+
+class CircuitOpenError(ServeError):
+    """Failing fast: too many consecutive failures, cooldown pending."""
 
 
 def parse_address(address):
@@ -38,18 +70,78 @@ def connect(address, timeout=None):
     return sock
 
 
-class ServeClient:
-    """One connection, synchronous request/response."""
+#: Ops whose calls may be transparently retried.  ``shutdown`` is
+#: excluded — retrying it against a freshly restarted daemon would turn
+#: one intended stop into a kill loop.
+RETRYABLE_OPS = ("infer", "check", "ping", "health", "stats")
 
-    def __init__(self, address, timeout=None):
+
+class ServeClient:
+    """One connection, synchronous request/response, optional retries.
+
+    ``retries`` is the number of *additional* attempts after the first;
+    ``0`` preserves the historical single-shot semantics.  ``timeout``
+    is the per-attempt socket timeout; ``call_deadline`` (seconds,
+    ``0`` = none) bounds one logical call across all of its retries and
+    backoff sleeps.
+    """
+
+    def __init__(
+        self,
+        address,
+        timeout=None,
+        retries=0,
+        backoff=0.05,
+        backoff_max=2.0,
+        call_deadline=0.0,
+        breaker_threshold=8,
+        breaker_cooldown=1.0,
+    ):
         self.address = address
-        self._sock = connect(address, timeout=timeout)
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = max(0.001, float(backoff))
+        self.backoff_max = max(self.backoff, float(backoff_max))
+        self.call_deadline = max(0.0, float(call_deadline))
+        self.breaker_threshold = max(1, int(breaker_threshold))
+        self.breaker_cooldown = max(0.0, float(breaker_cooldown))
+        self._sock = None
+        self._idem_prefix = "%x-%s" % (os.getpid(), uuid.uuid4().hex[:12])
+        self._idem_seq = 0
+        self._consecutive_failures = 0
+        self._breaker_open_until = 0.0
+        if self.retries == 0:
+            # Historical behaviour: constructing a client for an absent
+            # daemon raises immediately.  A retrying client connects
+            # lazily — its first call handles an absent daemon anyway.
+            self._ensure_connected()
+
+    # -- connection lifecycle --------------------------------------------------
+
+    def _ensure_connected(self):
+        if self._sock is None:
+            self._sock = connect(self.address, timeout=self.timeout)
+        return self._sock
+
+    def _discard_connection(self):
+        """Drop a connection that can no longer be trusted.
+
+        After a send/recv error the frame stream is in an undefined
+        half-sent state; reusing it would desync every later call.
+        Closing and nulling makes the next call reconnect cleanly."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    @property
+    def connected(self):
+        return self._sock is not None
 
     def close(self):
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        self._discard_connection()
 
     def __enter__(self):
         return self
@@ -57,20 +149,135 @@ class ServeClient:
     def __exit__(self, *exc_info):
         self.close()
 
+    # -- the call path ---------------------------------------------------------
+
     def call(self, request):
-        """Send one raw request dict, block for its response."""
+        """Send one request dict, block for its response.
+
+        Single attempt when ``retries == 0``; otherwise the retrying
+        path (idempotency key, backoff, deadline, breaker)."""
+        if self.retries == 0 or request.get("op") not in RETRYABLE_OPS:
+            return self._call_once(request)
+        return self._call_retrying(request)
+
+    def _call_once(self, request):
         try:
-            send_message(self._sock, request)
-            return recv_message(self._sock)
+            sock = self._ensure_connected()
+            send_message(sock, request)
+            return recv_message(sock)
         except (OSError, ConnectionError) as exc:
+            self._discard_connection()
+            if isinstance(exc, ServeError):
+                raise
             raise ServeError(
                 "daemon at %s hung up: %s" % (self.address, exc)
             )
+
+    def next_idempotency_key(self):
+        """A fresh key, unique to this client instance."""
+        self._idem_seq += 1
+        return "%s-%d" % (self._idem_prefix, self._idem_seq)
+
+    def _call_retrying(self, request):
+        request = dict(request)
+        if request.get("op") in ("infer", "check") and not request.get("idem"):
+            # One key per *logical* call, constant across its retries —
+            # this is what lets the daemon replay instead of re-execute.
+            request["idem"] = self.next_idempotency_key()
+        self._breaker_gate()
+        deadline_at = (
+            time.monotonic() + self.call_deadline
+            if self.call_deadline
+            else None
+        )
+        attempts = self.retries + 1
+        last_error = None
+        response = None
+        for attempt in range(attempts):
+            if attempt:
+                self._sleep_backoff(attempt, deadline_at)
+            if deadline_at is not None and time.monotonic() >= deadline_at:
+                break
+            try:
+                response = self._call_once(request)
+            except ServeError as exc:
+                last_error = exc
+                self._record_failure()
+                continue
+            self._record_success()
+            if response.get("status") in RETRYABLE_STATUSES:
+                # The daemon is alive but refused admission; nothing
+                # executed, so backing off and re-asking is safe.
+                last_error = None
+                continue
+            return response
+        if response is not None and last_error is None:
+            # Retries exhausted on retryable refusals: surface the
+            # daemon's last word rather than inventing an exception.
+            return response
+        if deadline_at is not None and time.monotonic() >= deadline_at:
+            raise ServeError(
+                "call deadline of %.3fs exceeded after %d attempt(s) "
+                "against %s (%s)"
+                % (
+                    self.call_deadline,
+                    attempt + 1,
+                    self.address,
+                    last_error,
+                )
+            )
+        raise ServeError(
+            "daemon at %s unreachable after %d attempt(s): %s"
+            % (self.address, attempts, last_error)
+        )
+
+    def _sleep_backoff(self, attempt, deadline_at):
+        """Capped exponential backoff with decorrelating jitter."""
+        base = min(self.backoff * (2.0 ** (attempt - 1)), self.backoff_max)
+        delay = base * (0.5 + random.random() * 0.5)
+        if deadline_at is not None:
+            delay = min(delay, max(deadline_at - time.monotonic(), 0.0))
+        if delay > 0:
+            time.sleep(delay)
+
+    # -- circuit breaker -------------------------------------------------------
+
+    @property
+    def breaker_open(self):
+        return (
+            self._consecutive_failures >= self.breaker_threshold
+            and time.monotonic() < self._breaker_open_until
+        )
+
+    def _breaker_gate(self):
+        """Fail fast while the breaker is open; once the cooldown has
+        passed the call proceeds as the half-open probe (success closes
+        the breaker, failure re-opens it)."""
+        if self.breaker_open:
+            raise CircuitOpenError(
+                "circuit breaker open for %s after %d consecutive "
+                "failures (retry after cooldown)"
+                % (self.address, self._consecutive_failures)
+            )
+
+    def _record_failure(self):
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.breaker_threshold:
+            self._breaker_open_until = (
+                time.monotonic() + self.breaker_cooldown
+            )
+
+    def _record_success(self):
+        self._consecutive_failures = 0
+        self._breaker_open_until = 0.0
 
     # -- op helpers ------------------------------------------------------------
 
     def ping(self):
         return self.call({"op": "ping"})
+
+    def health(self):
+        return self.call({"op": "health"})
 
     def stats(self):
         return self.call({"op": "stats"})
@@ -89,20 +296,28 @@ class ServeClient:
         return self.call(request)
 
 
-def wait_for_server(address, timeout=10.0, interval=0.05):
+def wait_for_server(
+    address, timeout=10.0, interval=0.05, connect_timeout=0.5
+):
     """Poll until the daemon answers a ping (daemon boot in tests/CLI).
 
-    Returns the ping response; raises :class:`ServeError` on timeout.
+    ``connect_timeout`` bounds each probe attempt on its own — it is
+    deliberately *not* derived from the polling ``interval``, which only
+    paces the probes.  Returns the ping response; raises
+    :class:`ServeError` naming the attempts made on timeout.
     """
     deadline = time.monotonic() + timeout
     last_error = None
+    attempts = 0
     while time.monotonic() < deadline:
+        attempts += 1
         try:
-            with ServeClient(address, timeout=interval * 10) as client:
+            with ServeClient(address, timeout=connect_timeout) as client:
                 return client.ping()
         except (ServeError, OSError) as exc:
             last_error = exc
             time.sleep(interval)
     raise ServeError(
-        "no daemon at %s after %.1fs (%s)" % (address, timeout, last_error)
+        "no daemon at %s after %.1fs and %d attempt(s) (%s)"
+        % (address, timeout, attempts, last_error)
     )

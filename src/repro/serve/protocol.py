@@ -28,16 +28,38 @@ MAGIC = b"ANK1"
 #: business shipping hundreds of megabytes of source.
 MAX_MESSAGE_BYTES = 64 * 1024 * 1024
 
-#: Operations the daemon accepts.
-OPS = ("infer", "check", "ping", "stats", "shutdown")
+#: Operations the daemon accepts.  ``health`` is the supervisor's and
+#: load balancer's probe: queue depth, worker saturation, RSS, and the
+#: overload verdict, answered inline by the front end.
+OPS = ("infer", "check", "ping", "health", "stats", "shutdown")
 
 #: Response statuses, mirroring the CLI's exit-code vocabulary:
 #: ``ok`` = clean result; ``degraded`` = completed with quarantines or
 #: prior-only solves (CLI exit 2); ``invalid`` = bad request (CLI 3);
 #: ``error`` = handler failure (CLI 4); ``expired`` = per-request
 #: deadline passed; ``rejected`` = bounded queue full or daemon
-#: draining.
-STATUSES = ("ok", "degraded", "invalid", "error", "expired", "rejected")
+#: draining; ``overloaded`` = admission shed under memory pressure —
+#: like ``rejected`` it is *retryable* (the work never started), and
+#: responses carry ``retryable: true`` so clients can tell refusals
+#: from execution outcomes.
+STATUSES = (
+    "ok",
+    "degraded",
+    "invalid",
+    "error",
+    "expired",
+    "rejected",
+    "overloaded",
+)
+
+#: Statuses that mean "the work was never executed; retrying is safe
+#: and reaches a fresh admission decision".  Execution outcomes
+#: (``ok``/``degraded``/``error``/``expired``) are *final* for a given
+#: idempotency key and are replayed, never re-run.
+RETRYABLE_STATUSES = ("rejected", "overloaded")
+
+#: Longest accepted idempotency key (it is an LRU key, not a payload).
+MAX_IDEMPOTENCY_KEY = 128
 
 
 class ProtocolError(Exception):
@@ -149,6 +171,10 @@ REQUEST_DEFAULTS = {
     "deadline": 0.0,
     "include_marginals": False,
     "check_tier": "auto",
+    #: Client-generated idempotency key ("" = none).  A retried request
+    #: carrying the same key and the same work replays the original
+    #: completed response bit-identically instead of re-executing.
+    "idem": "",
 }
 
 #: Checker dispatch tiers (mirrors the CLI's ``--check-tier``).
@@ -216,4 +242,11 @@ def normalize_request(payload):
     for flag in ("api", "no_cache", "include_marginals"):
         if not isinstance(request[flag], bool):
             raise ProtocolError("%s must be a boolean" % flag)
+    if not isinstance(request["idem"], str):
+        raise ProtocolError("idem must be a string")
+    if len(request["idem"]) > MAX_IDEMPOTENCY_KEY:
+        raise ProtocolError(
+            "idem of %d chars exceeds the %d char limit"
+            % (len(request["idem"]), MAX_IDEMPOTENCY_KEY)
+        )
     return request

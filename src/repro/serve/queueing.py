@@ -48,6 +48,9 @@ class QueueMetrics:
     rejected: int = 0
     dispatched: int = 0
     max_depth: int = 0
+    #: Requests whose deadline expired while still queued; they are
+    #: answered ``expired`` by the dispatcher and never reach a worker.
+    evicted: int = 0
     #: Total seconds requests spent queued (divide by dispatched for the
     #: mean wait).
     wait_seconds: float = 0.0
@@ -58,6 +61,7 @@ class QueueMetrics:
             "rejected": self.rejected,
             "dispatched": self.dispatched,
             "max_depth": self.max_depth,
+            "evicted": self.evicted,
             "wait_seconds": self.wait_seconds,
         }
 
@@ -103,6 +107,33 @@ class BoundedRequestQueue:
     def closed(self):
         with self._lock:
             return self._closed
+
+    def evict_expired(self, now=None):
+        """Remove and return every queued request whose deadline has
+        already passed.
+
+        The dispatcher calls this before pulling a batch, so a request
+        that died of old age *in the queue* is answered ``expired``
+        directly and costs zero worker time — under overload this is
+        what keeps workers from burning their cycles on responses nobody
+        is still waiting for.
+        """
+        if now is None:
+            now = time.perf_counter()
+        evicted = []
+        with self._lock:
+            if not self._items:
+                return evicted
+            keep = deque()
+            for pending in self._items:
+                if pending.expired(now):
+                    evicted.append(pending)
+                else:
+                    keep.append(pending)
+            if evicted:
+                self._items = keep
+                self.metrics.evicted += len(evicted)
+        return evicted
 
     def get_batch(self, max_size, window, timeout=0.1):
         """Pull the next dispatch batch.

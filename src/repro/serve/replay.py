@@ -1,0 +1,102 @@
+"""Idempotent replay: at-most-once execution for retried requests.
+
+A client that loses its connection mid-call cannot know whether the
+daemon executed its request.  Blind retry would re-run the solve; giving
+up would drop the result.  The contract here is the standard one:
+
+* every retryable request carries a client-generated **idempotency
+  key**;
+* the daemon keeps a bounded LRU of **completed responses** keyed by
+  ``(idem key, work fingerprint)`` — the fingerprint is included so a
+  reused key with *different* work is executed, never served someone
+  else's result;
+* a retried request whose key is present is answered with the stored
+  response byte-for-byte (the payload dict is returned as stored and
+  the wire encoding is canonical), and the solve is **not** re-executed.
+
+Only *execution outcomes* (``ok``/``degraded``/``error``/``expired``)
+are stored: admission refusals (``rejected``/``overloaded``) mean the
+work never ran, so a retry must reach a fresh admission decision.
+
+The store is written on completion *before* the response is sent, so a
+connection that dies between execution and delivery still leaves the
+result behind for the retry to collect — the exact window the whole
+mechanism exists for.
+"""
+
+import threading
+from collections import OrderedDict
+
+#: Default number of completed responses retained.
+DEFAULT_REPLAY_LIMIT = 256
+
+#: Statuses that represent a finished execution and are replayable.
+REPLAYABLE_STATUSES = ("ok", "degraded", "error", "expired")
+
+
+class ReplayCache:
+    """A thread-safe bounded LRU of completed responses.
+
+    Keys are ``(idem, fingerprint)`` tuples; values are the exact
+    response payload dicts the daemon sent (or tried to send).  Counters
+    feed the daemon's ``stats``/``health`` payloads — the chaos suite
+    asserts on ``replays`` to prove a retried key never re-executed.
+    """
+
+    def __init__(self, limit=DEFAULT_REPLAY_LIMIT):
+        if limit < 1:
+            raise ValueError("replay limit must be >= 1, got %d" % limit)
+        self.limit = limit
+        self._entries = OrderedDict()
+        self._lock = threading.Lock()
+        #: Completed responses stored.
+        self.stored = 0
+        #: Lookups answered from the store (executions avoided).
+        self.replays = 0
+        #: Entries dropped by the LRU bound.
+        self.evicted = 0
+
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)
+
+    def lookup(self, idem, fingerprint):
+        """The stored response for this key, or None.  A hit refreshes
+        the entry's LRU position and counts one replay."""
+        if not idem:
+            return None
+        key = (idem, fingerprint)
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is None:
+                return None
+            self._entries.move_to_end(key)
+            self.replays += 1
+            return payload
+
+    def store(self, idem, fingerprint, payload):
+        """Retain one completed response; a no-op without a key or for
+        non-replayable (admission-refusal) statuses."""
+        if not idem or payload.get("status") not in REPLAYABLE_STATUSES:
+            return False
+        key = (idem, fingerprint)
+        with self._lock:
+            already = key in self._entries
+            self._entries[key] = payload
+            self._entries.move_to_end(key)
+            if not already:
+                self.stored += 1
+                while len(self._entries) > self.limit:
+                    self._entries.popitem(last=False)
+                    self.evicted += 1
+            return True
+
+    def to_payload(self):
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "limit": self.limit,
+                "stored": self.stored,
+                "replays": self.replays,
+                "evicted": self.evicted,
+            }

@@ -35,6 +35,24 @@ Shutdown: SIGTERM/SIGINT (or a ``shutdown`` op) closes the queue —
 later requests are ``rejected`` at the door — drains everything already
 admitted through normal dispatch, then exits 0, mirroring the graceful
 drain of the checkpoint layer.
+
+Self-healing additions (DESIGN §15):
+
+* **idempotent replay** — completed responses are retained in a bounded
+  LRU (:class:`repro.serve.replay.ReplayCache`) keyed by the client's
+  idempotency key and the work fingerprint; a retried request after a
+  connection drop is answered from the store bit-identically, never
+  re-executed.
+* **overload-aware admission** — a ``health`` op reports queue depth,
+  worker saturation, and RSS; when ``max_rss_mb`` is set and exceeded,
+  new work is shed with a retryable ``overloaded`` status instead of
+  letting the daemon grow into the OOM killer; requests whose deadline
+  expired while queued are evicted before dispatch and cost zero worker
+  time.
+* **heartbeat** — with ``heartbeat_path`` set the front loop touches the
+  file every ``heartbeat_interval`` seconds, giving the supervisor
+  (:mod:`repro.serve.supervisor`) a liveness signal that distinguishes
+  "alive but busy" from "wedged".
 """
 
 import os
@@ -51,6 +69,7 @@ from repro.corpus.iterator_api import ITERATOR_API_SOURCE
 from repro.java.parser import parse_compilation_unit
 from repro.java.symbols import resolve_program
 from repro.plural.checker import run_check
+from repro.resilience.checkpoint import current_rss_mb
 from repro.resilience.faults import maybe_fault
 from repro.resilience.policy import ResiliencePolicy
 from repro.resilience.report import FailureReport
@@ -59,9 +78,47 @@ from repro.serve.protocol import (
     FrameBuffer,
     ProtocolError,
     normalize_request,
+    recv_message,
     send_message,
 )
 from repro.serve.queueing import BoundedRequestQueue, PendingRequest
+from repro.serve.replay import DEFAULT_REPLAY_LIMIT, ReplayCache
+
+
+class ServeAddressInUse(RuntimeError):
+    """A live daemon already answers on the requested socket path."""
+
+    def __init__(self, path, pid):
+        self.path = path
+        self.pid = pid
+        super().__init__(
+            "a live daemon (pid %s) already serves on %s — refusing to "
+            "steal its socket" % (pid, path)
+        )
+
+
+def probe_live_daemon(socket_path, timeout=0.5):
+    """Ping whoever listens on ``socket_path``; their pid, or None.
+
+    None means the path is stale (nobody connects, or whoever does is
+    not speaking the protocol) and safe to unlink.
+    """
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    try:
+        sock.connect(socket_path)
+        send_message(sock, {"op": "ping"})
+        response = recv_message(sock)
+        if isinstance(response, dict) and response.get("op") == "ping":
+            return response.get("pid", -1)
+        return None
+    except (OSError, ProtocolError, ConnectionError):
+        return None
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
 
 
 class _Connection:
@@ -111,6 +168,10 @@ class AnekServer:
         batch_window=0.01,
         batch_max=16,
         policy=None,
+        max_rss_mb=0,
+        replay_limit=DEFAULT_REPLAY_LIMIT,
+        heartbeat_path=None,
+        heartbeat_interval=1.0,
     ):
         if (socket_path is None) == (port is None):
             raise ValueError(
@@ -126,6 +187,12 @@ class AnekServer:
         self.batch_max = max(1, int(batch_max))
         self.policy = policy or ResiliencePolicy()
         self.queue = BoundedRequestQueue(limit=queue_limit)
+        #: Soft RSS budget in MiB; 0 disables overload shedding.
+        self.max_rss_mb = max(0, int(max_rss_mb))
+        #: Completed responses for idempotent retry replay.
+        self.replay = ReplayCache(limit=replay_limit)
+        self.heartbeat_path = heartbeat_path
+        self.heartbeat_interval = max(0.05, float(heartbeat_interval))
         #: The daemon-lifetime failure ledger (request failures never
         #: abort the daemon; they land here and in the response).
         self.failures = FailureReport()
@@ -145,6 +212,10 @@ class AnekServer:
         self._waves = 0
         self._coalesced = 0
         self._expired = 0
+        self._shed = 0
+        self._busy_workers = 0
+        self._executed = 0
+        self._last_heartbeat = 0.0
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -160,10 +231,18 @@ class AnekServer:
         from concurrent.futures import ThreadPoolExecutor
 
         if self.socket_path is not None:
-            try:
-                os.unlink(self.socket_path)
-            except OSError:
-                pass
+            if os.path.exists(self.socket_path):
+                # Never silently steal the path from a live daemon: two
+                # servers unlinking each other's socket would take turns
+                # orphaning every connected client.  Only an unanswered
+                # (stale, crash-leftover) socket is cleaned up.
+                pid = probe_live_daemon(self.socket_path)
+                if pid is not None:
+                    raise ServeAddressInUse(self.socket_path, pid)
+                try:
+                    os.unlink(self.socket_path)
+                except OSError:
+                    pass
             listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
             listener.bind(self.socket_path)
         else:
@@ -246,12 +325,29 @@ class AnekServer:
         while True:
             if self._drained.is_set():
                 return
+            self._touch_heartbeat()
             events = self._selector.select(timeout=0.1)
             for key, _ in events:
                 if key.data is None:
                     self._accept()
                 else:
                     self._read(key)
+
+    def _touch_heartbeat(self):
+        """Prove front-loop liveness to the supervisor: touch the
+        heartbeat file at most every ``heartbeat_interval`` seconds.  A
+        daemon that stops touching it is wedged even if its pid lives."""
+        if self.heartbeat_path is None:
+            return
+        now = time.monotonic()
+        if now - self._last_heartbeat < self.heartbeat_interval:
+            return
+        self._last_heartbeat = now
+        try:
+            with open(self.heartbeat_path, "w") as handle:
+                handle.write("%d\n" % os.getpid())
+        except OSError:
+            pass
 
     def _accept(self):
         try:
@@ -315,6 +411,9 @@ class AnekServer:
         if op == "stats":
             connection.send(self._stats_payload())
             return
+        if op == "health":
+            connection.send(self._health_payload())
+            return
         if op == "shutdown":
             connection.send({"status": "ok", "op": "shutdown"})
             self.initiate_shutdown()
@@ -322,6 +421,39 @@ class AnekServer:
         with self._metrics_lock:
             self._request_seq += 1
             request_id = self._request_seq
+        fingerprint = work_fingerprint(request)
+        # Chaos site: a ``killproc`` fault here SIGKILLs the daemon
+        # while it holds an admitted-but-unanswered request — the
+        # client's send succeeded, no response will ever come, and only
+        # reconnect + idempotent retry (against the supervisor's next
+        # incarnation) recovers it.
+        try:
+            maybe_fault(
+                "serve-admit", "admit:%d:%s" % (request_id, fingerprint[:12])
+            )
+        except Exception as exc:
+            self.failures.record(
+                "serve", "admit:%d" % request_id, exc, "request-failed"
+            )
+            self._count_status("error")
+            connection.send(
+                {
+                    "status": "error",
+                    "id": request_id,
+                    "error": "%s: %s" % (type(exc).__name__, exc),
+                }
+            )
+            return
+        replayed = self.replay.lookup(request["idem"], fingerprint)
+        if replayed is not None:
+            # At-most-once: the original execution's exact response —
+            # bit-identical bytes on the wire, zero re-execution.
+            self._count_status("replayed")
+            connection.send(replayed)
+            return
+        if self._overloaded():
+            self._shed_overloaded(connection, request_id)
+            return
         deadline_at = (
             time.perf_counter() + request["deadline"]
             if request["deadline"] > 0
@@ -331,7 +463,7 @@ class AnekServer:
             request=request,
             connection=connection,
             request_id=request_id,
-            fingerprint=work_fingerprint(request),
+            fingerprint=fingerprint,
             deadline_at=deadline_at,
         )
         if not self.queue.put(pending):
@@ -340,16 +472,66 @@ class AnekServer:
                 {
                     "status": "rejected",
                     "id": request_id,
+                    "retryable": True,
                     "error": "queue full or daemon draining",
                 }
             )
+
+    def _overloaded(self, rss_mb=None):
+        """True when the RSS budget is set and currently exceeded."""
+        if not self.max_rss_mb:
+            return False
+        if rss_mb is None:
+            rss_mb = current_rss_mb()
+        return rss_mb > self.max_rss_mb
+
+    def _shed_overloaded(self, connection, request_id):
+        """Refuse one admission under memory pressure.
+
+        Shedding at the door (instead of queueing and OOMing mid-solve)
+        keeps the daemon alive and the refusal *retryable*: nothing was
+        executed, so the client's backoff-retry reaches a fresh
+        admission decision once pressure clears."""
+        rss_mb = current_rss_mb()
+        exc = MemoryError(
+            "rss %.1f MiB over the %d MiB budget" % (rss_mb, self.max_rss_mb)
+        )
+        self.failures.record(
+            "serve", "admit:%d" % request_id, exc, "request-shed"
+        )
+        self._count_status("overloaded")
+        with self._metrics_lock:
+            self._shed += 1
+        connection.send(
+            {
+                "status": "overloaded",
+                "id": request_id,
+                "retryable": True,
+                "error": str(exc),
+                "rss_mb": rss_mb,
+                "max_rss_mb": self.max_rss_mb,
+            }
+        )
 
     # -- dispatcher ------------------------------------------------------------
 
     def _dispatch_loop(self):
         try:
             while True:
+                # Deadline-aware eviction: whatever died of old age in
+                # the queue is answered right here, before planning —
+                # zero worker time spent on a response nobody awaits.
+                for pending in self.queue.evict_expired():
+                    self._respond_evicted(pending)
                 batch = self.queue.get_batch(self.batch_max, self.batch_window)
+                live = []
+                for pending in batch:
+                    if pending.expired():
+                        self.queue.metrics.evicted += 1
+                        self._respond_evicted(pending)
+                    else:
+                        live.append(pending)
+                batch = live
                 if not batch:
                     if self._stopping.is_set() and self.queue.depth() == 0:
                         return
@@ -376,6 +558,15 @@ class AnekServer:
     # -- request execution -----------------------------------------------------
 
     def _run_group(self, group, plan):
+        with self._metrics_lock:
+            self._busy_workers += 1
+        try:
+            self._run_group_inner(group, plan)
+        finally:
+            with self._metrics_lock:
+                self._busy_workers -= 1
+
+    def _run_group_inner(self, group, plan):
         now = time.perf_counter()
         live = []
         for member in group.members:
@@ -397,16 +588,20 @@ class AnekServer:
             for member in live:
                 self.failures.record("serve", key, exc, "request-failed")
                 self._count_status("error")
-                member.connection.send(
+                self._finish(
+                    member,
+                    group.fingerprint,
                     {
                         "status": "error",
                         "id": member.request_id,
                         "op": group.request["op"],
                         "error": "%s: %s" % (type(exc).__name__, exc),
                         "serve": self._serve_meta(member, group, plan),
-                    }
+                    },
                 )
             return
+        with self._metrics_lock:
+            self._executed += 1
         now = time.perf_counter()
         for member in live:
             if member.expired(now):
@@ -427,7 +622,20 @@ class AnekServer:
             if member.request["include_marginals"] and "marginals" in executed:
                 payload["result"] = dict(executed["result"])
                 payload["result"]["marginals"] = executed["marginals"]
-            member.connection.send(payload)
+            self._finish(member, group.fingerprint, payload)
+
+    def _finish(self, member, fingerprint, payload):
+        """Deliver one terminal response: store it for idempotent replay
+        *first*, then send.  Ordering matters — a connection that dies
+        between execution and delivery (or a ``killproc`` fault at the
+        ``serve-respond`` site, which loses both) is exactly the window
+        the retry-with-replay contract covers."""
+        self.replay.store(member.request.get("idem", ""), fingerprint, payload)
+        maybe_fault(
+            "serve-respond",
+            "respond:%d:%s" % (member.request_id, fingerprint[:12]),
+        )
+        member.connection.send(payload)
 
     def _execute(self, request, live):
         """Run one group's work: the same pipeline the CLI runs."""
@@ -544,7 +752,40 @@ class AnekServer:
             # The work finished anyway (coalesced members shared it);
             # include the result — the *status* still says late.
             payload["result"] = executed["result"]
-        member.connection.send(payload)
+        self._finish(member, group.fingerprint, payload)
+
+    def _respond_evicted(self, pending):
+        """Answer one request evicted from the queue by its deadline —
+        from the dispatcher thread, never a worker."""
+        exc = TimeoutError(
+            "deadline of %.3fs expired while queued (evicted before "
+            "dispatch)" % pending.request["deadline"]
+        )
+        self.failures.record(
+            "serve",
+            "req:%d:%s" % (pending.request_id, pending.fingerprint[:12]),
+            exc,
+            "request-expired",
+        )
+        self._count_status("expired")
+        with self._metrics_lock:
+            self._expired += 1
+        self._finish(
+            pending,
+            pending.fingerprint,
+            {
+                "status": "expired",
+                "id": pending.request_id,
+                "op": pending.request["op"],
+                "error": str(exc),
+                "serve": {
+                    "request_id": pending.request_id,
+                    "queue_wait_seconds": pending.queue_wait(),
+                    "evicted_in_queue": True,
+                    "fingerprint": pending.fingerprint,
+                },
+            },
+        )
 
     def _serve_meta(self, member, group, plan):
         return {
@@ -569,6 +810,30 @@ class AnekServer:
                 }
             )
 
+    def _health_payload(self):
+        """The overload-aware probe: everything an admission-steering
+        client (or the supervisor) needs in one cheap, inline answer."""
+        rss_mb = current_rss_mb()
+        with self._metrics_lock:
+            busy = self._busy_workers
+        depth = self.queue.depth()
+        return {
+            "status": "ok",
+            "op": "health",
+            "pid": os.getpid(),
+            "draining": self._stopping.is_set(),
+            "uptime_seconds": time.perf_counter() - self._started_at,
+            "queue_depth": depth,
+            "queue_limit": self.queue.limit,
+            "workers": self.workers,
+            "busy_workers": busy,
+            "saturated": busy >= self.workers and depth > 0,
+            "rss_mb": rss_mb,
+            "max_rss_mb": self.max_rss_mb,
+            "overloaded": self._overloaded(rss_mb),
+            "replay": self.replay.to_payload(),
+        }
+
     # -- metrics ---------------------------------------------------------------
 
     def _count_status(self, status):
@@ -583,6 +848,8 @@ class AnekServer:
             waves = self._waves
             coalesced = self._coalesced
             expired = self._expired
+            shed = self._shed
+            executed = self._executed
         return {
             "status": "ok",
             "op": "stats",
@@ -596,5 +863,8 @@ class AnekServer:
             "waves": waves,
             "coalesced": coalesced,
             "expired": expired,
+            "shed": shed,
+            "executed": executed,
+            "replay": self.replay.to_payload(),
             "failures": self.failures.to_payload(),
         }

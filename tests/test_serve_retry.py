@@ -1,0 +1,500 @@
+"""Idempotent retries, replay, overload admission, and the breaker.
+
+The self-healing client/daemon contract (DESIGN §15), bottom-up:
+
+* **units** — the replay LRU, idempotency-key validation, retryable
+  status surface;
+* **client** — connection hygiene after errors (a failed call never
+  leaves a half-sent frame stream behind), backoff-bounded retries,
+  per-call deadlines, the circuit breaker's open/half-open/closed walk;
+* **daemon** — at-most-once execution (a retried key replays the stored
+  response bit-identically, asserted via the server's replay/executed
+  counters), RSS overload shedding with retryable refusals, the
+  ``health`` op, and the stale-socket/live-daemon start probe.
+"""
+
+import os
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.serve import (
+    AnekServer,
+    CircuitOpenError,
+    ReplayCache,
+    ServeAddressInUse,
+    ServeClient,
+    ServeError,
+    normalize_request,
+    probe_live_daemon,
+    wait_for_server,
+)
+from repro.serve.protocol import ProtocolError
+from tests.serve_harness import (
+    LEDGER_CLIENT,
+    SCANNER_CLIENT,
+    canonical_json,
+    cold_result,
+    running_server,
+)
+
+
+# ---------------------------------------------------------------------------
+# Units
+# ---------------------------------------------------------------------------
+
+
+class TestReplayCache:
+    def test_store_and_replay(self):
+        cache = ReplayCache(limit=4)
+        payload = {"status": "ok", "result": {"n": 1}}
+        assert cache.store("key", "fp", payload)
+        assert cache.lookup("key", "fp") is payload
+        assert cache.replays == 1
+        assert cache.stored == 1
+
+    def test_fingerprint_scopes_the_key(self):
+        """A reused key with different work must never serve someone
+        else's result."""
+        cache = ReplayCache()
+        cache.store("key", "fp-a", {"status": "ok", "result": 1})
+        assert cache.lookup("key", "fp-b") is None
+        assert cache.replays == 0
+
+    def test_empty_key_is_never_stored(self):
+        cache = ReplayCache()
+        assert not cache.store("", "fp", {"status": "ok"})
+        assert cache.lookup("", "fp") is None
+        assert len(cache) == 0
+
+    @pytest.mark.parametrize("status", ["rejected", "overloaded", "invalid"])
+    def test_admission_refusals_are_not_replayable(self, status):
+        cache = ReplayCache()
+        assert not cache.store("key", "fp", {"status": status})
+        assert cache.lookup("key", "fp") is None
+
+    @pytest.mark.parametrize("status", ["ok", "degraded", "error", "expired"])
+    def test_execution_outcomes_are_replayable(self, status):
+        cache = ReplayCache()
+        assert cache.store("key", "fp", {"status": status})
+
+    def test_lru_bound_evicts_oldest(self):
+        cache = ReplayCache(limit=2)
+        cache.store("a", "fp", {"status": "ok"})
+        cache.store("b", "fp", {"status": "ok"})
+        cache.lookup("a", "fp")  # refresh a
+        cache.store("c", "fp", {"status": "ok"})  # evicts b
+        assert cache.lookup("b", "fp") is None
+        assert cache.lookup("a", "fp") is not None
+        assert cache.lookup("c", "fp") is not None
+        assert cache.evicted == 1
+
+    def test_restore_same_key_does_not_double_count(self):
+        cache = ReplayCache(limit=2)
+        cache.store("a", "fp", {"status": "ok", "v": 1})
+        cache.store("a", "fp", {"status": "ok", "v": 2})
+        assert cache.stored == 1
+        assert cache.lookup("a", "fp")["v"] == 2
+
+
+class TestIdemValidation:
+    def test_idem_defaults_empty(self):
+        request = normalize_request({"op": "ping"})
+        assert request["idem"] == ""
+
+    def test_idem_accepted(self):
+        request = normalize_request(
+            {"op": "infer", "sources": ["class A {}"], "idem": "abc-1"}
+        )
+        assert request["idem"] == "abc-1"
+
+    @pytest.mark.parametrize("idem", [17, None, ["k"], "x" * 129])
+    def test_bad_idem_rejected(self, idem):
+        with pytest.raises(ProtocolError):
+            normalize_request(
+                {"op": "infer", "sources": ["class A {}"], "idem": idem}
+            )
+
+    def test_idem_not_in_work_fingerprint(self):
+        from repro.serve import work_fingerprint
+
+        base = normalize_request({"op": "infer", "sources": ["class A {}"]})
+        keyed = normalize_request(
+            {"op": "infer", "sources": ["class A {}"], "idem": "k-1"}
+        )
+        assert work_fingerprint(base) == work_fingerprint(keyed)
+
+
+# ---------------------------------------------------------------------------
+# Client: connection hygiene, retries, breaker
+# ---------------------------------------------------------------------------
+
+
+class _FlakyServer:
+    """A raw socket server scripted per-connection: each entry in
+    ``script`` handles one accepted connection ("drop" = read the
+    request then hang up; a dict = answer every request with it)."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.listener.bind(("127.0.0.1", 0))
+        self.listener.listen(8)
+        self.address = "tcp:127.0.0.1:%d" % self.listener.getsockname()[1]
+        self.served = 0
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        from repro.serve.protocol import FrameBuffer, send_message
+
+        for action in self.script:
+            try:
+                conn, _ = self.listener.accept()
+            except OSError:
+                return
+            self.served += 1
+            buffer = FrameBuffer()
+            try:
+                while True:
+                    data = conn.recv(65536)
+                    if not data:
+                        break
+                    for _ in buffer.feed(data):
+                        if action == "drop":
+                            conn.close()
+                            break
+                        send_message(conn, action)
+                    else:
+                        continue
+                    break
+            except OSError:
+                pass
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        self.listener.close()
+
+    def close(self):
+        try:
+            self.listener.close()
+        except OSError:
+            pass
+
+
+class TestClientConnectionHygiene:
+    def test_error_discards_connection_and_next_call_reconnects(self):
+        """Satellite: after a mid-call hangup the socket is closed and
+        nulled, so the next call dials fresh instead of deadlocking on
+        a desynced frame stream."""
+        server = _FlakyServer(["drop", {"status": "ok", "op": "ping"}])
+        try:
+            client = ServeClient(server.address)
+            with pytest.raises(ServeError):
+                client.ping()
+            assert not client.connected
+            response = client.ping()  # transparently reconnects
+            assert response["status"] == "ok"
+            assert server.served == 2
+        finally:
+            server.close()
+
+    def test_retrying_call_survives_a_drop(self):
+        server = _FlakyServer(["drop", {"status": "ok", "op": "ping"}])
+        try:
+            client = ServeClient(server.address, retries=3, backoff=0.01)
+            assert client.ping()["status"] == "ok"
+            assert server.served == 2
+        finally:
+            server.close()
+
+    def test_retries_exhausted_raises_with_attempt_count(self):
+        server = _FlakyServer(["drop", "drop", "drop"])
+        try:
+            client = ServeClient(server.address, retries=2, backoff=0.01)
+            with pytest.raises(ServeError, match="3 attempt"):
+                client.ping()
+        finally:
+            server.close()
+
+    def test_call_deadline_bounds_the_retry_loop(self):
+        client = ServeClient(
+            "tcp:127.0.0.1:1",  # nothing listens here
+            retries=1000,
+            backoff=0.05,
+            call_deadline=0.3,
+            breaker_threshold=10_000,
+        )
+        started = time.monotonic()
+        with pytest.raises(ServeError, match="deadline"):
+            client.ping()
+        assert time.monotonic() - started < 5.0
+
+    def test_idempotency_key_constant_across_retries(self):
+        seen = []
+
+        class _Recorder(_FlakyServer):
+            def _serve(self):
+                from repro.serve.protocol import FrameBuffer, send_message
+
+                for action in self.script:
+                    conn, _ = self.listener.accept()
+                    buffer = FrameBuffer()
+                    data = conn.recv(65536)
+                    for message in buffer.feed(data):
+                        seen.append(message.get("idem"))
+                        if action == "drop":
+                            conn.close()
+                        else:
+                            send_message(conn, action)
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+                self.listener.close()
+
+        server = _Recorder(["drop", {"status": "ok", "op": "infer"}])
+        try:
+            client = ServeClient(server.address, retries=3, backoff=0.01)
+            client.infer(["class A {}"])
+            assert len(seen) == 2
+            assert seen[0] and seen[0] == seen[1]
+        finally:
+            server.close()
+
+    def test_distinct_calls_get_distinct_keys(self):
+        client = ServeClient.__new__(ServeClient)
+        client._idem_prefix = "p"
+        client._idem_seq = 0
+        assert client.next_idempotency_key() != client.next_idempotency_key()
+
+
+class TestCircuitBreaker:
+    def _dead_client(self, **kwargs):
+        kwargs.setdefault("retries", 1)
+        kwargs.setdefault("backoff", 0.01)
+        return ServeClient("tcp:127.0.0.1:1", **kwargs)
+
+    def test_opens_after_threshold_and_fails_fast(self):
+        client = self._dead_client(breaker_threshold=2, breaker_cooldown=60.0)
+        with pytest.raises(ServeError):
+            client.ping()  # 2 attempts = 2 consecutive failures
+        assert client.breaker_open
+        started = time.monotonic()
+        with pytest.raises(CircuitOpenError):
+            client.ping()
+        assert time.monotonic() - started < 0.1  # no dial, no backoff
+
+    def test_half_open_after_cooldown_then_success_closes(self, tmp_path):
+        server = AnekServer(
+            port=0, cache_dir=str(tmp_path / "cache"), workers=1
+        )
+        # Fail against a dead port first, with a short cooldown.
+        client = self._dead_client(breaker_threshold=2, breaker_cooldown=0.1)
+        with pytest.raises(ServeError):
+            client.ping()
+        assert client.breaker_open
+        time.sleep(0.15)
+        assert not client.breaker_open  # cooled down: half-open
+        server.start()
+        try:
+            client.address = server.address  # the service "came back"
+            assert client.ping()["status"] == "ok"
+            assert client._consecutive_failures == 0  # probe closed it
+        finally:
+            server.initiate_shutdown()
+            server.wait()
+
+    def test_shutdown_is_never_retried(self):
+        client = self._dead_client(retries=5, breaker_threshold=100)
+        with pytest.raises(ServeError):
+            client.shutdown()
+        assert client._consecutive_failures == 0  # single-shot path
+
+
+# ---------------------------------------------------------------------------
+# Daemon: replay, overload, health, socket probe
+# ---------------------------------------------------------------------------
+
+
+def test_retried_key_replays_bit_identically_without_reexecution(tmp_path):
+    with running_server(tmp_path, workers=2) as server:
+        with ServeClient(server.address) as client:
+            first = client.infer([LEDGER_CLIENT], idem="chaos-key-1")
+            second = client.infer([LEDGER_CLIENT], idem="chaos-key-1")
+            stats = client.stats()
+    # Bit-identical replay: the entire payload, not just the result.
+    assert canonical_json(first) == canonical_json(second)
+    assert stats["executed"] == 1
+    assert stats["replay"]["replays"] == 1
+    assert stats["replay"]["stored"] == 1
+    assert stats["responses"].get("replayed") == 1
+
+
+def test_same_key_different_work_executes_both(tmp_path):
+    with running_server(tmp_path, workers=2) as server:
+        with ServeClient(server.address) as client:
+            one = client.infer([LEDGER_CLIENT], idem="shared-key")
+            two = client.infer([SCANNER_CLIENT], idem="shared-key")
+            stats = client.stats()
+    assert one["status"] == two["status"] == "ok"
+    assert canonical_json(one["result"]) != canonical_json(two["result"])
+    assert stats["executed"] == 2
+    assert stats["replay"]["replays"] == 0
+
+
+def test_replayed_expired_outcome_is_final(tmp_path):
+    with running_server(tmp_path, workers=1) as server:
+        with ServeClient(server.address) as client:
+            late = client.infer(
+                [LEDGER_CLIENT], deadline=1e-06, idem="late-key"
+            )
+            again = client.infer(
+                [LEDGER_CLIENT], deadline=1e-06, idem="late-key"
+            )
+            stats = client.stats()
+    assert late["status"] == "expired"
+    assert canonical_json(late) == canonical_json(again)
+    assert stats["replay"]["replays"] == 1
+
+
+def test_overload_sheds_with_retryable_status(tmp_path):
+    golden = canonical_json(cold_result([LEDGER_CLIENT]).canonical_payload())
+    with running_server(tmp_path, workers=1, max_rss_mb=1) as server:
+        with ServeClient(server.address) as client:
+            shed = client.infer([LEDGER_CLIENT])
+            health = client.health()
+            stats = client.stats()
+            # Lifting the budget restores service on the same daemon.
+            server.max_rss_mb = 0
+            recovered = client.infer([LEDGER_CLIENT])
+    assert shed["status"] == "overloaded"
+    assert shed["retryable"] is True
+    assert shed["rss_mb"] > 1
+    assert health["overloaded"] is True
+    assert stats["shed"] == 1
+    assert stats["executed"] == 0  # nothing ran while overloaded
+    dispositions = [
+        f["disposition"] for f in stats["failures"]["failures"]
+    ]
+    assert dispositions == ["request-shed"]
+    assert recovered["status"] == "ok"
+    assert canonical_json(recovered["result"]) == golden
+
+
+def test_retrying_client_returns_last_refusal_when_pressure_persists(
+    tmp_path,
+):
+    with running_server(tmp_path, workers=1, max_rss_mb=1) as server:
+        with ServeClient(server.address, retries=2, backoff=0.01) as client:
+            response = client.infer([LEDGER_CLIENT])
+        with ServeClient(server.address) as probe:
+            stats = probe.stats()
+    assert response["status"] == "overloaded"
+    # Every attempt reached a fresh admission decision (3 sheds), and
+    # none of them executed anything.
+    assert stats["shed"] == 3
+    assert stats["executed"] == 0
+
+
+def test_health_op_reports_queue_and_workers(tmp_path):
+    with running_server(tmp_path, workers=3) as server:
+        with ServeClient(server.address) as client:
+            health = client.health()
+    assert health["status"] == "ok"
+    assert health["op"] == "health"
+    assert health["queue_depth"] == 0
+    assert health["queue_limit"] == server.queue.limit
+    assert health["workers"] == 3
+    assert health["busy_workers"] == 0
+    assert health["saturated"] is False
+    assert health["overloaded"] is False
+    assert health["max_rss_mb"] == 0
+    assert health["rss_mb"] > 0
+    assert "replay" in health
+
+
+def test_start_refuses_to_steal_a_live_daemons_socket(tmp_path):
+    path = str(tmp_path / "daemon.sock")
+    first = AnekServer(socket_path=path, cache_dir=str(tmp_path / "c1"))
+    first.start()
+    try:
+        assert probe_live_daemon(path) == os.getpid()
+        second = AnekServer(socket_path=path, cache_dir=str(tmp_path / "c2"))
+        with pytest.raises(ServeAddressInUse, match="live daemon"):
+            second.start()
+        # The incumbent is unharmed.
+        with ServeClient(path) as client:
+            assert client.ping()["status"] == "ok"
+    finally:
+        first.initiate_shutdown()
+        first.wait()
+
+
+def test_start_reclaims_a_stale_socket(tmp_path):
+    path = str(tmp_path / "daemon.sock")
+    # A crash leftover: a bound-but-unserved socket file.
+    leftover = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    leftover.bind(path)
+    leftover.close()  # nobody will ever accept
+    assert probe_live_daemon(path) is None
+    server = AnekServer(socket_path=path, cache_dir=str(tmp_path / "cache"))
+    server.start()
+    try:
+        with ServeClient(path) as client:
+            assert client.ping()["status"] == "ok"
+    finally:
+        server.initiate_shutdown()
+        server.wait()
+
+
+def test_wait_for_server_reports_attempts(tmp_path):
+    with pytest.raises(ServeError, match=r"\d+ attempt"):
+        wait_for_server(
+            str(tmp_path / "nothing.sock"),
+            timeout=0.3,
+            interval=0.05,
+            connect_timeout=0.1,
+        )
+
+
+def test_client_reconnects_across_daemon_generations(tmp_path):
+    """The full self-healing client path against real daemons: the first
+    daemon goes away, a second comes up at the same address, and one
+    retrying call spans the gap."""
+    path = str(tmp_path / "daemon.sock")
+    golden = canonical_json(cold_result([LEDGER_CLIENT]).canonical_payload())
+    first = AnekServer(socket_path=path, cache_dir=str(tmp_path / "cache"))
+    first.start()
+    client = ServeClient(
+        path, retries=40, backoff=0.05, backoff_max=0.2
+    )
+    reviver = [None]
+    try:
+        assert client.ping()["status"] == "ok"
+        first.initiate_shutdown()
+        first.wait()
+
+        def revive():
+            time.sleep(0.4)
+            second = AnekServer(
+                socket_path=path, cache_dir=str(tmp_path / "cache")
+            )
+            second.start()
+            reviver[0] = second
+
+        thread = threading.Thread(target=revive)
+        thread.start()
+        response = client.infer([LEDGER_CLIENT])  # spans the outage
+        thread.join()
+        assert response["status"] == "ok"
+        assert canonical_json(response["result"]) == golden
+    finally:
+        client.close()
+        if reviver[0] is not None:
+            reviver[0].initiate_shutdown()
+            reviver[0].wait()

@@ -139,6 +139,39 @@ class TestQueue:
         assert queue.metrics.dispatched == 4
         assert len(queue.get_batch(max_size=4, window=0.0)) == 1
 
+    def _deadlined(self, deadline_at, request_id=0):
+        return PendingRequest(
+            request={},
+            connection=None,
+            request_id=request_id,
+            fingerprint="fp",
+            deadline_at=deadline_at,
+        )
+
+    def test_evict_expired_removes_exactly_the_dead(self):
+        queue = BoundedRequestQueue(limit=8)
+        now = time.perf_counter()
+        dead_one = self._deadlined(now - 1.0, request_id=1)
+        alive_deadline = self._deadlined(now + 60.0, request_id=2)
+        dead_two = self._deadlined(now - 0.1, request_id=3)
+        alive_forever = self._pending()  # no deadline: never expires
+        for pending in (dead_one, alive_deadline, dead_two, alive_forever):
+            assert queue.put(pending)
+        evicted = queue.evict_expired()
+        assert evicted == [dead_one, dead_two]
+        assert queue.metrics.evicted == 2
+        # The survivors keep their FIFO order and stay dispatchable.
+        batch = queue.get_batch(max_size=4, window=0.0)
+        assert batch == [alive_deadline, alive_forever]
+
+    def test_evict_expired_is_a_noop_without_expiry(self):
+        queue = BoundedRequestQueue(limit=4)
+        queue.put(self._deadlined(time.perf_counter() + 60.0))
+        queue.put(self._pending())
+        assert queue.evict_expired() == []
+        assert queue.metrics.evicted == 0
+        assert queue.depth() == 2
+
 
 class TestBatchPlanner:
     def _pending(self, request):
@@ -329,6 +362,53 @@ def test_expired_deadline_does_not_poison_later_requests(tmp_path):
     assert late["status"] == "expired"
     assert healthy["status"] == "ok"
     assert canonical_json(healthy["result"]) == golden
+    dispositions = [
+        f["disposition"] for f in stats["failures"]["failures"]
+    ]
+    assert dispositions == ["request-expired"]
+
+
+def test_queued_request_expires_without_costing_a_worker(tmp_path):
+    """A request whose deadline dies *in the queue* — parked behind a
+    stalled wave on a one-worker daemon — is answered ``expired`` by the
+    dispatcher's eviction sweep and never reaches a worker: the daemon
+    executes exactly one solve."""
+    install_fault_plan(
+        [FaultSpec(stage="serve", key="", kind="delay", count=1, seconds=0.8)]
+    )
+    results = {}
+    with running_server(
+        tmp_path, workers=1, batch_max=1, batch_window=0.0
+    ) as server:
+
+        def stalled():
+            with ServeClient(server.address) as client:
+                results["stalled"] = client.infer([LEDGER_CLIENT])
+
+        def doomed():
+            with ServeClient(server.address) as client:
+                results["doomed"] = client.infer(
+                    [SCANNER_CLIENT], deadline=0.2
+                )
+
+        first = threading.Thread(target=stalled)
+        first.start()
+        time.sleep(0.3)  # wave 1 is in its injected 0.8s stall
+        second = threading.Thread(target=doomed)
+        second.start()
+        first.join()
+        second.join()
+        with ServeClient(server.address) as client:
+            stats = client.stats()
+    assert results["stalled"]["status"] == "ok"
+    doomed_response = results["doomed"]
+    assert doomed_response["status"] == "expired"
+    assert doomed_response["serve"]["evicted_in_queue"] is True
+    assert "evicted" in doomed_response["error"]
+    # Zero worker time: one solve executed, one request evicted.
+    assert stats["executed"] == 1
+    assert stats["queue"]["evicted"] == 1
+    assert stats["queue"]["dispatched"] == 1
     dispositions = [
         f["disposition"] for f in stats["failures"]["failures"]
     ]

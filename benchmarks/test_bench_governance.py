@@ -1,0 +1,118 @@
+"""Governance overhead bench: budgets must be observationally free.
+
+Resource governance (ISSUE: adversarial-input hardening) is a set of
+pure threshold comparisons on values every stage computes anyway, so on
+a clean corpus it must cost (nearly) nothing and change nothing.  This
+bench pins both halves of that contract on the factor-1 scale-out
+corpus:
+
+* **<5% overhead** — best-of-N wall clock of parse + inference with
+  governance on vs off (ABBA ordering so warmup and drift cancel);
+* **bit-identity** — the marginal digests of the governed and
+  ungoverned runs are equal.
+
+Results go to ``BENCH_governance.json`` at the repo root.
+"""
+
+import hashlib
+import json
+import time
+from pathlib import Path
+
+MAX_OVERHEAD = 0.05
+REPS = 2  # best-of-N per configuration, interleaved ABBA
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_governance.json"
+
+CORPUS_FACTOR = 1.001  # smallest factor on the scale-out path
+
+
+def _sources():
+    from repro.corpus import CorpusSpec, generate_pmd_corpus
+
+    bundle = generate_pmd_corpus(CorpusSpec().scaled(CORPUS_FACTOR))
+    return bundle.all_sources()
+
+
+def _measure(sources, limits):
+    """One timed parse + inference run; returns (seconds, digest)."""
+    from repro.core.infer import AnekInference, InferenceSettings
+    from repro.java.parser import parse_compilation_unit
+    from repro.java.symbols import method_key, resolve_program
+    from repro.resilience.policy import ResiliencePolicy
+
+    start = time.perf_counter()
+    program = resolve_program(
+        [parse_compilation_unit(source, limits=limits) for source in sources]
+    )
+    settings = InferenceSettings(policy=ResiliencePolicy(limits=limits))
+    inference = AnekInference(program, settings=settings)
+    results = inference.run()
+    seconds = time.perf_counter() - start
+
+    digest = hashlib.sha256()
+    for ref in sorted(results, key=method_key):
+        digest.update(method_key(ref).encode("utf-8"))
+        digest.update(
+            json.dumps(
+                [
+                    (str(slot_target), marginal.to_payload())
+                    for slot_target, marginal in sorted(
+                        results[ref].items(), key=lambda kv: str(kv[0])
+                    )
+                ],
+                sort_keys=True,
+            ).encode("utf-8")
+        )
+    assert inference.failures.is_clean, (
+        "the scale-out corpus must run clean: %s"
+        % inference.failures.to_json()
+    )
+    return seconds, digest.hexdigest()
+
+
+def test_governance_overhead_under_five_percent():
+    from repro.resilience.limits import ResourceLimits
+
+    sources = _sources()
+    governed = ResourceLimits()
+    ungoverned = ResourceLimits.disabled()
+
+    timings = {"on": [], "off": []}
+    digests = {}
+    # ABBA: on, off, off, on — systematic drift (warmup, thermal)
+    # contributes equally to both sides.
+    schedule = (["on", "off"] + ["off", "on"]) * (REPS // 2) or ["on", "off"]
+    for which in schedule:
+        limits = governed if which == "on" else ungoverned
+        seconds, digest = _measure(sources, limits)
+        timings[which].append(seconds)
+        digests.setdefault(which, digest)
+
+    assert digests["on"] == digests["off"], (
+        "governance changed clean-corpus marginals"
+    )
+
+    best_on = min(timings["on"])
+    best_off = min(timings["off"])
+    overhead = best_on / best_off - 1.0
+    payload = {
+        "corpus_factor": CORPUS_FACTOR,
+        "sources": len(sources),
+        "best_governed_seconds": best_on,
+        "best_ungoverned_seconds": best_off,
+        "overhead_fraction": overhead,
+        "max_overhead": MAX_OVERHEAD,
+        "timings": timings,
+        "digest": digests["on"],
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    print(
+        "\ngovernance overhead: %.2f%% (governed %.2fs vs ungoverned %.2fs)"
+        % (overhead * 100.0, best_on, best_off)
+    )
+    assert overhead < MAX_OVERHEAD, (
+        "governance overhead %.2f%% exceeds the %.0f%% budget"
+        % (overhead * 100.0, MAX_OVERHEAD * 100.0)
+    )

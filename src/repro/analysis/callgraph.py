@@ -248,18 +248,34 @@ def call_graph_from_targets(targets_by_method):
     return graph
 
 
-def build_call_graph(program, lowered_methods=None):
+def build_call_graph(program, lowered_methods=None, skip=None, on_error=None):
     """Build the call graph.
 
     ``lowered_methods`` optionally maps MethodRef -> LoweredMethod to reuse
     existing lowering work; otherwise methods are lowered on demand.
+    ``skip`` is a container of caller refs to leave out entirely (already
+    quarantined methods — the cached-callee reconstruction omits them, so
+    the from-scratch build must too).  ``on_error`` receives
+    ``(caller_ref, exc)`` when lowering one caller fails and that caller
+    is then skipped; without it the exception propagates.
     """
     graph = CallGraph()
     for caller_ref in program.methods_with_bodies():
+        if skip is not None and caller_ref in skip:
+            continue
         lowered = None
         if lowered_methods is not None and caller_ref in lowered_methods:
             lowered = lowered_methods[caller_ref]
-        for site in method_call_sites(program, caller_ref, lowered=lowered):
+        try:
+            sites = list(
+                method_call_sites(program, caller_ref, lowered=lowered)
+            )
+        except Exception as exc:
+            if on_error is None:
+                raise
+            on_error(caller_ref, exc)
+            continue
+        for site in sites:
             graph.add(site)
     return graph
 

@@ -198,8 +198,13 @@ class AnalysisCache:
 
     # -- layer 1: parsing ------------------------------------------------------
 
-    def parse(self, source):
-        """Parse one source string, via the store when possible."""
+    def parse(self, source, limits=None):
+        """Parse one source string, via the store when possible.
+
+        ``limits`` governs only the cold-parse path: a cache hit proves
+        the source already parsed cleanly, and governance never changes
+        what a successful parse produces.
+        """
         from repro.java.ast import CompilationUnit
         from repro.java.parser import parse_compilation_unit
 
@@ -223,7 +228,7 @@ class AnalysisCache:
             self.stats.parse_hits += 1
             return unit
         self.stats.parse_misses += 1
-        unit = parse_compilation_unit(source)
+        unit = parse_compilation_unit(source, limits=limits)
         self.save(key, unit)
         return unit
 

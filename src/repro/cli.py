@@ -7,6 +7,7 @@
     python -m repro pfg    FILE CLASS.METHOD   print a method's PFG (DOT)
     python -m repro table  {1,2,3,4}  regenerate a paper table
     python -m repro figure {1,4,6,10} regenerate a paper figure
+    python -m repro fuzz --seed S --budget N   structured fuzzing campaign
 
 ``infer`` and ``check`` accept ``--api`` to prepend the annotated
 Iterator API (on by default) and ``--threshold``/``--max-iters`` to tune
@@ -27,11 +28,14 @@ crash-looping daemon.
 """
 
 import argparse
+import os
 import sys
 from contextlib import nullcontext
 
-#: CLI exit codes (0 = clean; ``check`` uses 1 for "warnings found").
+#: CLI exit codes (0 = clean; ``check`` uses 1 for "warnings found",
+#: ``fuzz`` uses it for "sentinel violations found").
 EXIT_OK = 0
+EXIT_FINDINGS = 1
 EXIT_DEGRADED = 2
 EXIT_USAGE = 3
 EXIT_FATAL = 4
@@ -64,16 +68,42 @@ def resolve_executor_args(executor, jobs):
     return executor, jobs or 0
 
 
+def _build_limits(args):
+    """Resource budgets from the ``--max-*`` governance flags."""
+    from repro.resilience.limits import ResourceLimits
+
+    if not getattr(args, "governance", True):
+        return ResourceLimits.disabled()
+    overrides = {}
+    for name in (
+        "max_source_chars",
+        "max_tokens",
+        "max_literal_chars",
+        "max_parse_depth",
+        "max_pfg_nodes",
+        "max_graph_factors",
+        "max_worklist_visits",
+    ):
+        value = getattr(args, name, None)
+        if value is not None:
+            overrides[name] = value
+    return ResourceLimits(**overrides)
+
+
 def _build_policy(args):
     from repro.resilience.policy import ResiliencePolicy
 
+    limits = _build_limits(args)
     if not getattr(args, "resilience", True):
-        return ResiliencePolicy.disabled()
+        # Governance is orthogonal to the degradation ladder: budgets
+        # keep protecting the process unless --no-governance too.
+        return ResiliencePolicy(enabled=False, limits=limits)
     return ResiliencePolicy(
         solve_deadline=getattr(args, "solve_deadline", 0.0),
         solve_retries=getattr(args, "solve_retries", 2),
         worker_retries=getattr(args, "worker_retries", 2),
         worker_timeout=getattr(args, "worker_timeout", 0.0),
+        limits=limits,
     )
 
 
@@ -234,6 +264,8 @@ def cmd_serve(args, out):
         policy=_build_policy(args),
         max_rss_mb=args.max_rss_mb,
         heartbeat_path=args.heartbeat,
+        max_frame_bytes=args.max_frame_mb * 1024 * 1024,
+        max_source_bytes=args.max_source_mb * 1024 * 1024,
     )
     try:
         return server.run_forever(out=out)
@@ -441,9 +473,10 @@ def _apply_cached_specs(program, run_dir, threshold):
 def cmd_check(args, out):
     from repro.plural.checker import run_check
 
+    limits = _build_limits(args)
     program = resolve_program(
         [
-            parse_compilation_unit(source)
+            parse_compilation_unit(source, limits=limits)
             for source in _read_sources(args.files, args.api)
         ]
     )
@@ -630,6 +663,53 @@ def cmd_figure(args, out):
     return 0
 
 
+def cmd_fuzz(args, out):
+    from repro.fuzz import replay_regressions, run_campaign
+
+    if args.replay:
+        replays = replay_regressions(
+            directory=args.regressions_dir, deadline=args.case_deadline or 60.0
+        )
+        bad = 0
+        for path, report in replays:
+            status = "ok" if report.ok else "VIOLATES"
+            print("replay %s: %s" % (path, status), file=out)
+            for violation in report.violations:
+                print("    " + violation, file=out)
+                bad += 1
+        print(
+            "fuzz: replayed %d regression(s), %d violation(s)"
+            % (len(replays), bad),
+            file=out,
+        )
+        return EXIT_FINDINGS if bad else EXIT_OK
+
+    result = run_campaign(
+        args.seed,
+        args.budget,
+        regressions_dir=args.regressions_dir,
+        deadline=args.case_deadline,
+        minimize=args.minimize,
+        log=lambda line: print(line, file=out),
+    )
+    print(result.summary_line(), file=out)
+    for entry in result.violations:
+        print(
+            "violation %s [%s]: %s (minimized %d -> %d chars)"
+            % (
+                entry["label"],
+                entry["family"],
+                "; ".join(entry["violations"]),
+                entry["original_chars"],
+                entry["minimized_chars"],
+            ),
+            file=out,
+        )
+    for path in result.regressions_written:
+        print("wrote %s" % path, file=out)
+    return EXIT_OK if result.ok else EXIT_FINDINGS
+
+
 def _job_count(text):
     """Explicit ``--jobs`` values must be >= 1; the unset default stays
     the sentinel 0 (= CPU count), which argparse never routes through
@@ -717,6 +797,37 @@ def _positive_count(flag):
         return value
 
     return parse
+
+
+def _add_governance_flags(command):
+    """The resource-governance knobs, shared by ``infer`` and ``check``.
+
+    Defaults come from :class:`repro.resilience.limits.ResourceLimits`;
+    every flag accepts 0 for "unlimited".  A breached budget quarantines
+    the offending unit/method with the ``resource-limit`` disposition.
+    """
+    command.add_argument("--no-governance", dest="governance",
+                         action="store_false",
+                         help="disable all resource budgets (recursion, "
+                              "token, graph-size and worklist ceilings)")
+    for flag, name, what in (
+        ("--max-source-chars", "max_source_chars",
+         "source characters per compilation unit"),
+        ("--max-tokens", "max_tokens", "tokens per compilation unit"),
+        ("--max-literal-chars", "max_literal_chars",
+         "characters in one string literal"),
+        ("--max-parse-depth", "max_parse_depth",
+         "statement/expression nesting depth"),
+        ("--max-pfg-nodes", "max_pfg_nodes",
+         "permission-flow-graph nodes per method"),
+        ("--max-graph-factors", "max_graph_factors",
+         "factor-graph nodes (factors + variables) per method"),
+        ("--max-worklist-visits", "max_worklist_visits",
+         "total worklist method visits"),
+    ):
+        command.add_argument(flag, metavar="N", dest=name,
+                             type=_nonnegative_count(flag), default=None,
+                             help="cap on %s (0 = unlimited)" % what)
 
 
 class _Parser(argparse.ArgumentParser):
@@ -821,6 +932,7 @@ def build_parser():
                        type=_nonnegative_count("--max-rss-mb"), default=0,
                        help="soft RSS budget: checkpoint, then shed cached "
                             "models when exceeded (0 = no budget)")
+    _add_governance_flags(infer)
     infer.set_defaults(run=cmd_infer)
 
     serve = sub.add_parser(
@@ -860,6 +972,16 @@ def build_parser():
                        help="soft RSS budget: shed new requests with a "
                             "retryable 'overloaded' status while exceeded "
                             "(0 = no budget)")
+    serve.add_argument("--max-frame-mb", metavar="MB",
+                       type=_nonnegative_count("--max-frame-mb"), default=0,
+                       help="per-connection frame cap: a request frame "
+                            "announcing more is answered 'invalid' from "
+                            "its header alone, its body drained unbuffered "
+                            "(0 = the 64 MiB protocol ceiling)")
+    serve.add_argument("--max-source-mb", metavar="MB",
+                       type=_nonnegative_count("--max-source-mb"), default=32,
+                       help="total source bytes one request may carry "
+                            "(0 = unlimited; default: %(default)s)")
     serve.add_argument("--heartbeat", metavar="PATH", default=None,
                        help="touch PATH every second as a liveness signal "
                             "(set automatically under --supervise)")
@@ -960,6 +1082,7 @@ def build_parser():
                             "(default: %(default)s)")
     check.add_argument("--check-stats", action="store_true",
                        help="print the per-tier method/site/timing split")
+    _add_governance_flags(check)
     check.set_defaults(run=cmd_check)
 
     pfg = sub.add_parser("pfg", help="print a method's permission flow graph")
@@ -1016,6 +1139,36 @@ def build_parser():
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", type=int, choices=(1, 4, 6, 10))
     figure.set_defaults(run=cmd_figure)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="run the deterministic structured fuzzing campaign",
+        description="Run `budget` seeded cases through the pipeline under "
+                    "the invariant sentinels; violations are delta-debugged "
+                    "to minimal reproducers and written into the regression "
+                    "corpus.  Exit 0 = no violations, 1 = violations found.",
+    )
+    fuzz.add_argument("--seed", type=_nonnegative_count("--seed"), default=0,
+                      help="campaign seed: picks the deterministic case "
+                           "stream (default 0)")
+    fuzz.add_argument("--budget", metavar="N",
+                      type=_positive_count("--budget"), default=100,
+                      help="number of cases to run (default 100)")
+    fuzz.add_argument("--regressions-dir", metavar="DIR",
+                      default=os.path.join("tests", "fuzz_regressions"),
+                      help="where minimized reproducers are written "
+                           "(default tests/fuzz_regressions)")
+    fuzz.add_argument("--case-deadline", metavar="SECONDS",
+                      type=_nonnegative_seconds("--case-deadline"),
+                      default=30.0,
+                      help="per-case wall budget for the deadline sentinel "
+                           "(0 disables it; default 30)")
+    fuzz.add_argument("--no-minimize", dest="minimize", action="store_false",
+                      help="skip delta-debugging of violating cases")
+    fuzz.add_argument("--replay", action="store_true",
+                      help="re-run the stored regression corpus instead of "
+                           "generating new cases")
+    fuzz.set_defaults(run=cmd_fuzz)
 
     return parser
 

@@ -39,6 +39,7 @@ from repro.core.summaries import (
     satisfaction_evidence,
 )
 from repro.resilience.faults import maybe_fault
+from repro.resilience.limits import ResourceLimitError
 from repro.resilience.policy import ResiliencePolicy
 from repro.resilience.report import FailureRecord, FailureReport
 
@@ -311,19 +312,43 @@ class AnekInference:
         try:
             if policy.enabled:
                 maybe_fault("pfg", site_key)
-            pfg = build_pfg(self.program, method_ref)
+            pfg = build_pfg(self.program, method_ref, limits=policy.limits)
             callees = method_call_targets(self.program, method_ref)
         except Exception as exc:
-            if not policy.enabled:
+            if not policy.enabled and not isinstance(exc, ResourceLimitError):
                 raise
             self.quarantine_method(
                 method_ref,
                 record_from_exception(
-                    "pfg", site_key, exc, "method-quarantined"
+                    "pfg",
+                    site_key,
+                    exc,
+                    "resource-limit"
+                    if isinstance(exc, ResourceLimitError)
+                    else "method-quarantined",
                 ),
             )
             return None, None
         return pfg, callees
+
+    def _quarantine_caller(self, method_ref, exc, policy):
+        """Call-graph lowering failed for one caller: quarantine it, same
+        contract as :meth:`_build_pfg_guarded`."""
+        from repro.resilience.report import record_from_exception
+
+        if not policy.enabled and not isinstance(exc, ResourceLimitError):
+            raise exc
+        self.quarantine_method(
+            method_ref,
+            record_from_exception(
+                "resolve",
+                self.models.site_key(method_ref),
+                exc,
+                "resource-limit"
+                if isinstance(exc, ResourceLimitError)
+                else "method-quarantined",
+            ),
+        )
 
     # -- initialization (Figure 9 lines 1-7) -------------------------------------
 
@@ -364,7 +389,13 @@ class AnekInference:
             self.call_graph = call_graph_from_targets(cached_callees)
             self.cache.record_invalidation(self.call_graph, methods)
         else:
-            self.call_graph = build_call_graph(self.program)
+            self.call_graph = build_call_graph(
+                self.program,
+                skip=self.quarantined,
+                on_error=lambda ref, exc: self._quarantine_caller(
+                    ref, exc, policy
+                ),
+            )
         for method_ref in methods:
             self._callers_of[method_ref] = [
                 caller
@@ -430,6 +461,16 @@ class AnekInference:
         # Quarantines shrink ``pfgs``, so its size is the surviving
         # method count on both the fresh and the resumed path.
         max_iters = self.settings.resolved_max_iters(len(self.pfgs))
+        # Worklist visit ceiling: a backstop against a degenerate call
+        # graph (or a hostile --max-iters) driving the loop far past any
+        # plausible fixpoint.  Only an *actual* breach — the ceiling cut
+        # the loop short with work still queued — is recorded, so a run
+        # that drains naturally is bit-identical with governance off.
+        visit_ceiling = self.settings.effective_policy().limits.cap(
+            "max_worklist_visits"
+        )
+        if visit_ceiling and max_iters > visit_ceiling:
+            max_iters = visit_ceiling
         while worklist and count < max_iters:
             count += 1
             method_ref = worklist.popleft()  # CHOOSE(W)
@@ -451,6 +492,17 @@ class AnekInference:
                     "visit:%d:%s" % (count, self.models.site_key(method_ref)),
                     lambda extra=extra: manager.encode(results, extra=extra),
                 )
+        if worklist and visit_ceiling and count >= visit_ceiling:
+            self.failures.add(
+                FailureRecord(
+                    stage="resource",
+                    key="worklist",
+                    error="ResourceLimitError",
+                    message="worklist-visits limit exceeded: %d methods "
+                    "still queued after %d visits" % (len(worklist), count),
+                    disposition="resource-limit",
+                )
+            )
         self.stats.solves = count
         self.stats.elapsed_seconds = time.perf_counter() - start
         self._persist_final(results)
@@ -576,10 +628,11 @@ class AnekInference:
                 method_ref, pfg, self.summaries, self.settings
             )
         except Exception as exc:
-            if not policy.enabled:
+            if not policy.enabled and not isinstance(exc, ResourceLimitError):
                 raise
             # Constraint generation (or the model machinery around it)
-            # crashed: quarantine just this method.  The solve stage
+            # crashed — or the built factor graph breached its size
+            # budget: quarantine just this method.  The solve stage
             # itself never raises here — guarded_solve degrades instead.
             from repro.resilience.report import record_from_exception
 
@@ -589,7 +642,9 @@ class AnekInference:
                     "constraints",
                     self.models.site_key(method_ref),
                     exc,
-                    "method-quarantined",
+                    "resource-limit"
+                    if isinstance(exc, ResourceLimitError)
+                    else "method-quarantined",
                 ),
             )
             results[method_ref] = {}

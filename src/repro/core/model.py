@@ -677,6 +677,15 @@ class ModelCache:
                 spec_env=self.spec_env,
                 summary_store=summary_store,
             ).build(reserve_evidence_slots=self.reuse)
+            # Factor-graph ceiling: a degenerate method (giant body,
+            # dense protocol use) whose graph would swamp the BP engines
+            # is quarantined before any sweep runs.
+            policy.limits.check(
+                "max_graph_factors",
+                "graph-factors",
+                model.graph.factor_count + model.graph.variable_count,
+                site_key,
+            )
             if self.reuse:
                 if entry is None:
                     entry = self._entries[method_ref] = {

@@ -18,6 +18,7 @@ from repro.analysis import ir
 from repro.analysis.alias import analyze_aliases
 from repro.analysis.cfg import build_cfg
 from repro.core.pfg import PFG, PFGNodeKind
+from repro.resilience.limits import ResourceLimitError, recursion_guard
 
 #: Classes never carrying a protocol (mirrors the checker's list).
 _VALUE_CLASSES = frozenset(
@@ -28,12 +29,17 @@ _VALUE_CLASSES = frozenset(
 class PFGBuilder:
     """Builds the PFG for one method."""
 
-    def __init__(self, program, method_ref, cfg=None):
+    def __init__(self, program, method_ref, cfg=None, limits=None):
         self.program = program
         self.method_ref = method_ref
-        self.cfg = cfg or build_cfg(
-            program, method_ref.class_decl, method_ref.method_decl
-        )
+        self._max_nodes = limits.cap("max_pfg_nodes") if limits else 0
+        # CFG construction and alias analysis walk the AST recursively;
+        # a method body deep enough to blow the interpreter stack must
+        # surface as a typed, quarantinable failure.
+        with recursion_guard("pfg-build-depth", "CFG/alias construction"):
+            self.cfg = cfg or build_cfg(
+                program, method_ref.class_decl, method_ref.method_decl
+            )
         self.alias = analyze_aliases(
             self.cfg, [p.name for p in method_ref.method_decl.params]
         )
@@ -73,6 +79,13 @@ class PFGBuilder:
 
     def build(self):
         for node in self.cfg.reverse_postorder():
+            if self._max_nodes and self.pfg.node_count() > self._max_nodes:
+                raise ResourceLimitError(
+                    "pfg-nodes",
+                    self.pfg.node_count(),
+                    self._max_nodes,
+                    self.method_ref.qualified_name,
+                )
             front = self._incoming_front(node)
             if node.kind == "entry":
                 front = self._seed_params(front)
@@ -474,6 +487,6 @@ class PFGBuilder:
                         break
 
 
-def build_pfg(program, method_ref, cfg=None):
+def build_pfg(program, method_ref, cfg=None, limits=None):
     """Build the PFG for one method."""
-    return PFGBuilder(program, method_ref, cfg=cfg).build()
+    return PFGBuilder(program, method_ref, cfg=cfg, limits=limits).build()

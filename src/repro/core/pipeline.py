@@ -17,6 +17,7 @@ from repro.core.extract import count_clauses, count_nonempty
 from repro.core.heuristics import HeuristicConfig
 from repro.core.infer import AnekInference, InferenceSettings
 from repro.java.parser import parse_compilation_unit
+from repro.resilience.limits import ResourceLimitError
 from repro.java.symbols import resolve_program
 from repro.plural.checker import run_check
 from repro.resilience.faults import maybe_fault
@@ -173,14 +174,23 @@ class AnekPipeline:
                 if policy.enabled:
                     maybe_fault("parse", unit_key)
                 if self.cache is not None:
-                    unit = self.cache.parse(source)
+                    unit = self.cache.parse(source, limits=policy.limits)
                 else:
-                    unit = parse_compilation_unit(source)
+                    unit = parse_compilation_unit(source, limits=policy.limits)
             except Exception as exc:
-                if not policy.enabled:
+                # Resource-budget breaches quarantine even with the
+                # resilience ladder off: limits protect the process.
+                if not policy.enabled and not isinstance(
+                    exc, ResourceLimitError
+                ):
                     raise
                 result.failures.record(
-                    "parse", unit_key, exc, "unit-quarantined"
+                    "parse",
+                    unit_key,
+                    exc,
+                    "resource-limit"
+                    if isinstance(exc, ResourceLimitError)
+                    else "unit-quarantined",
                 )
                 continue
             if self.cache is not None:
@@ -370,10 +380,17 @@ class AnekPipeline:
                     result.annotated_sources
                 )
             except Exception as exc:
-                if not policy.enabled:
+                if not policy.enabled and not isinstance(
+                    exc, ResourceLimitError
+                ):
                     raise
                 result.failures.record(
-                    "applier", "program", exc, "stage-skipped"
+                    "applier",
+                    "program",
+                    exc,
+                    "resource-limit"
+                    if isinstance(exc, ResourceLimitError)
+                    else "stage-skipped",
                 )
                 detail = "skipped (%s)" % type(exc).__name__
             result.stages.append(
@@ -412,10 +429,17 @@ class AnekPipeline:
                     stats.check_tier1_sites = check.tier1_sites
                     stats.check_tier2_sites = check.tier2_sites
             except Exception as exc:
-                if not policy.enabled:
+                if not policy.enabled and not isinstance(
+                    exc, ResourceLimitError
+                ):
                     raise
                 result.failures.record(
-                    "plural-check", "program", exc, "stage-skipped"
+                    "plural-check",
+                    "program",
+                    exc,
+                    "resource-limit"
+                    if isinstance(exc, ResourceLimitError)
+                    else "stage-skipped",
                 )
                 detail = "skipped (%s)" % type(exc).__name__
             result.stages.append(

@@ -41,6 +41,15 @@ from repro.factorgraph.factors import table_signature
 from repro.factorgraph.sumproduct import SumProductResult
 
 
+def _card_groups(cards):
+    """Group row indices by cardinality: [(card, indices), …]."""
+    cards = np.asarray(cards, dtype=np.intp)
+    return [
+        (int(card), np.flatnonzero(cards == card))
+        for card in np.unique(cards)
+    ]
+
+
 class CompiledGraph:
     """One factor graph, lowered to flat arrays ready for BP sweeps."""
 
@@ -121,6 +130,15 @@ class CompiledGraph:
 
         # Per-edge uniform rows / pad masks for normalization fallbacks.
         edge_cards = cards[self.edge_var]
+        # Row-total index groups, one per distinct cardinality: summing a
+        # padded width-D row is NOT bitwise-neutral once D >= 8 (numpy
+        # switches from sequential to pairwise accumulation, so the zero
+        # pads change the association order of the real entries).  Totals
+        # are therefore taken over each row's exact-cardinality slice,
+        # which reduces with the same pairwise schedule as the reference
+        # engine's 1-D ``vector.sum()`` of the same length.
+        self._edge_card_groups = _card_groups(edge_cards)
+        self._var_card_groups = _card_groups(cards)
         columns = np.arange(width)
         self._edge_pad = columns[np.newaxis, :] >= edge_cards[:, np.newaxis]
         with np.errstate(divide="ignore"):
@@ -198,12 +216,27 @@ class CompiledGraph:
     # -- the sweeps ---------------------------------------------------------------
 
     @staticmethod
-    def _normalize_rows(rows, uniform):
-        """Row-normalize with the reference engine's degenerate fallback."""
-        totals = rows.sum(axis=1, keepdims=True)
+    def _normalize_rows(rows, uniform, totals=None):
+        """Row-normalize with the reference engine's degenerate fallback.
+
+        ``totals`` (when given) are exact-cardinality row sums from
+        :func:`_card_groups` indexing; without them the full padded row is
+        summed, which is only bit-safe when every row is unpadded.
+        """
+        if totals is None:
+            totals = rows.sum(axis=1, keepdims=True)
         bad = (totals <= 0) | ~np.isfinite(totals)
         safe = np.where(bad, 1.0, totals)
         return np.where(bad, uniform, rows / safe)
+
+    @staticmethod
+    def _exact_row_totals(rows, groups):
+        """Per-row sums over each row's true cardinality slice — the same
+        length-n contiguous reduction the reference engine performs."""
+        totals = np.zeros((rows.shape[0], 1))
+        for card, indices in groups:
+            totals[indices, 0] = rows[indices, :card].sum(axis=1)
+        return totals
 
     def _segment_products(self):
         """Per-active-variable belief products prior·m1·m2·… — bitwise
@@ -218,7 +251,11 @@ class CompiledGraph:
         per_edge = np.repeat(full, self._active_degrees, axis=0)
         messages = self._flat[self._msg_rows]
         outgoing = np.where(messages > 0, per_edge / messages, 0.0)
-        self._msg_vf[:] = self._normalize_rows(outgoing, self._edge_uniform)
+        self._msg_vf[:] = self._normalize_rows(
+            outgoing,
+            self._edge_uniform,
+            totals=self._exact_row_totals(outgoing, self._edge_card_groups),
+        )
 
     def _factor_sweep(self, damping, semiring):
         """All factor→variable messages, group by group; returns the
@@ -280,7 +317,11 @@ class CompiledGraph:
         if len(self._active):
             beliefs[self._active] = self._segment_products()
         finite = bool(np.isfinite(beliefs).all())
-        beliefs = self._normalize_rows(beliefs, self._var_uniform)
+        beliefs = self._normalize_rows(
+            beliefs,
+            self._var_uniform,
+            totals=self._exact_row_totals(beliefs, self._var_card_groups),
+        )
         return {
             name: beliefs[position, : self.cards[position]].copy()
             for position, name in enumerate(self.names)

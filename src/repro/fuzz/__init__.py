@@ -1,0 +1,41 @@
+"""Deterministic structured fuzzing for the whole ANEK pipeline.
+
+The hostile-input counterpart of the resilience layer: a seeded
+generator produces random Java-subset programs and protocol annotations
+(valid, mutated-invalid, and pathological families), every case runs
+through the full pipeline under invariant *sentinels* (no uncaught
+exception, bounded wall time, normalized finite marginals, differential
+agreement across engines/executors/check tiers), and any sentinel
+violation is shrunk by a delta-debugging minimizer and written into
+``tests/fuzz_regressions/`` as a permanent replayable regression.
+
+* :mod:`repro.fuzz.generator` — the seeded case generator and its
+  program-family grammar;
+* :mod:`repro.fuzz.sentinels` — one case through the pipeline, every
+  invariant checked;
+* :mod:`repro.fuzz.minimize` — line-granularity ddmin;
+* :mod:`repro.fuzz.campaign` — the ``repro fuzz`` driver: budgeted
+  loop, minimization, regression corpus, replay.
+"""
+
+from repro.fuzz.campaign import (
+    CampaignResult,
+    replay_regressions,
+    run_campaign,
+)
+from repro.fuzz.generator import FAMILIES, FuzzCase, generate_case
+from repro.fuzz.minimize import ddmin, minimize_source
+from repro.fuzz.sentinels import CaseReport, run_case
+
+__all__ = [
+    "FAMILIES",
+    "FuzzCase",
+    "generate_case",
+    "CaseReport",
+    "run_case",
+    "ddmin",
+    "minimize_source",
+    "CampaignResult",
+    "run_campaign",
+    "replay_regressions",
+]

@@ -1,0 +1,206 @@
+"""The ``repro fuzz`` campaign driver.
+
+A campaign is two integers: ``seed`` picks the deterministic case
+stream, ``budget`` says how many cases of it to run.  Every case goes
+through the sentinels; a violation is delta-debugged down to a minimal
+reproducer and written (program + provenance JSON) into the regression
+corpus, where :func:`replay_regressions` — wired into the test suite
+and CI — re-runs it forever after.
+"""
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.fuzz.generator import FAMILIES, FuzzCase, generate_case
+from repro.fuzz.minimize import minimize_source
+from repro.fuzz.sentinels import run_case
+
+#: The permanent regression corpus, relative to the repo root.
+DEFAULT_REGRESSIONS_DIR = os.path.join("tests", "fuzz_regressions")
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one ``run_campaign`` invocation."""
+
+    seed: int
+    budget: int
+    cases_run: int = 0
+    survivors: int = 0
+    seconds: float = 0.0
+    #: family -> cases run.
+    by_family: dict = field(default_factory=dict)
+    #: family -> quarantined-case count (failure-ledger non-empty).
+    quarantined_by_family: dict = field(default_factory=dict)
+    #: One dict per violating case (label, family, violations,
+    #: original/minimized sizes, written paths).
+    violations: list = field(default_factory=list)
+    regressions_written: list = field(default_factory=list)
+
+    @property
+    def ok(self):
+        return not self.violations
+
+    def summary_line(self):
+        families = " ".join(
+            "%s=%d" % (family, self.by_family.get(family, 0))
+            for family in FAMILIES
+        )
+        return (
+            "fuzz: seed=%d budget=%d ran=%d survivors=%d violations=%d "
+            "[%s] in %.1fs"
+            % (
+                self.seed,
+                self.budget,
+                self.cases_run,
+                self.survivors,
+                len(self.violations),
+                families,
+                self.seconds,
+            )
+        )
+
+
+def _violation_kinds(report):
+    """The sentinel names that fired (stable under minimization)."""
+    return sorted({violation.split(":", 1)[0] for violation in report.violations})
+
+
+def _minimize_case(case, kinds, deadline, minimize_budget):
+    """Shrink each source of a violating case while the same sentinel
+    kinds keep firing; returns the minimized FuzzCase."""
+    sources = list(case.sources)
+    for position in range(len(sources)):
+        def predicate(candidate, position=position):
+            trial_sources = list(sources)
+            trial_sources[position] = candidate
+            trial = FuzzCase(
+                seed=case.seed,
+                index=case.index,
+                family=case.family,
+                sources=tuple(trial_sources),
+                include_api=case.include_api,
+            )
+            report = run_case(trial, deadline=deadline, differential=True)
+            return _violation_kinds(report) == kinds
+
+        sources[position] = minimize_source(
+            sources[position], predicate, budget=minimize_budget
+        )
+    return FuzzCase(
+        seed=case.seed,
+        index=case.index,
+        family=case.family,
+        sources=tuple(sources),
+        include_api=case.include_api,
+    )
+
+
+def write_regression(directory, case, report, original_chars):
+    """Persist one minimized reproducer: ``<label>.java`` (first source,
+    for human eyes) plus ``<label>.json`` (full provenance, for replay)."""
+    os.makedirs(directory, exist_ok=True)
+    base = os.path.join(directory, case.label)
+    payload = {
+        "case": case.to_payload(),
+        "violations": report.violations,
+        "original_chars": original_chars,
+        "minimized_chars": sum(len(source) for source in case.sources),
+    }
+    with open(base + ".json", "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    with open(base + ".java", "w", errors="surrogateescape") as handle:
+        handle.write(case.sources[0] if case.sources else "")
+    return [base + ".json", base + ".java"]
+
+
+def load_regression(path):
+    """Load one stored ``.json`` reproducer back into a FuzzCase."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return FuzzCase.from_payload(payload["case"])
+
+
+def replay_regressions(directory=DEFAULT_REGRESSIONS_DIR, deadline=60.0):
+    """Re-run every stored reproducer; returns [(path, CaseReport)].
+
+    An empty (or missing) corpus replays to an empty list — the corpus
+    only grows when a campaign actually finds something.
+    """
+    results = []
+    if not os.path.isdir(directory):
+        return results
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(directory, name)
+        case = load_regression(path)
+        results.append((path, run_case(case, deadline=deadline)))
+    return results
+
+
+def run_campaign(
+    seed,
+    budget,
+    regressions_dir=DEFAULT_REGRESSIONS_DIR,
+    deadline=30.0,
+    minimize=True,
+    minimize_budget=150,
+    log=None,
+):
+    """Run ``budget`` cases of stream ``seed`` under the sentinels.
+
+    Violations are minimized (when ``minimize``) and written into
+    ``regressions_dir`` (None = don't persist).  Returns a
+    :class:`CampaignResult`; the campaign itself never raises on a
+    finding — discovering bugs is its job, not an error.
+    """
+    result = CampaignResult(seed=seed, budget=budget)
+    start = time.perf_counter()
+    for index in range(budget):
+        case = generate_case(seed, index)
+        report = run_case(case, deadline=deadline)
+        result.cases_run += 1
+        result.by_family[case.family] = (
+            result.by_family.get(case.family, 0) + 1
+        )
+        if report.survivor:
+            result.survivors += 1
+        if report.dispositions:
+            result.quarantined_by_family[case.family] = (
+                result.quarantined_by_family.get(case.family, 0) + 1
+            )
+        if report.ok:
+            continue
+        if log is not None:
+            log(
+                "fuzz: %s violated %s"
+                % (case.label, "; ".join(report.violations))
+            )
+        original_chars = sum(len(source) for source in case.sources)
+        minimized = case
+        if minimize:
+            minimized = _minimize_case(
+                case, _violation_kinds(report), deadline, minimize_budget
+            )
+        entry = {
+            "label": case.label,
+            "family": case.family,
+            "violations": report.violations,
+            "original_chars": original_chars,
+            "minimized_chars": sum(
+                len(source) for source in minimized.sources
+            ),
+            "paths": [],
+        }
+        if regressions_dir is not None:
+            entry["paths"] = write_regression(
+                regressions_dir, minimized, report, original_chars
+            )
+            result.regressions_written.extend(entry["paths"])
+        result.violations.append(entry)
+    result.seconds = time.perf_counter() - start
+    return result

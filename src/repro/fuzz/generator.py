@@ -1,0 +1,325 @@
+"""Seeded structured generator of fuzz cases.
+
+Each case is a small Java-subset program (plus, for some families, a
+generated protocol API class) built from a deterministic PRNG: the same
+``(seed, index)`` always yields byte-identical sources, which is what
+makes a campaign reproducible from two integers and lets the regression
+corpus store seeds alongside programs.
+
+Families:
+
+``valid``
+    Syntactically valid clients of the Iterator/Collection protocol —
+    random method bodies of guarded loops, conditional calls, and
+    cross-method calls.  These must flow through the whole pipeline and
+    survive every differential sentinel.
+``deep-nesting``
+    Recursion bombs: parenthesized expressions, nested blocks, or
+    ``if`` chains nested far beyond the parser's depth budget.
+``giant-method``
+    One method with hundreds-to-thousands of statements, sometimes
+    carrying a string literal near or past the literal budget.
+``dense-callgraph``
+    Many mutually calling methods (cycles included) — worklist stress.
+``many-states``
+    A generated protocol class with >64 abstract states, past the
+    bit-vector checker tier's word width, so tier routing is exercised.
+``mutated``
+    A valid program with a few random edits (spans deleted/duplicated,
+    characters replaced) — mostly parse/resolve failures.
+``corrupted``
+    Byte-level hostility: NUL and non-ASCII injection, truncation.
+"""
+
+import random
+from dataclasses import dataclass
+
+from repro.corpus.iterator_api import ITERATOR_API_SOURCE
+
+FAMILIES = (
+    "valid",
+    "deep-nesting",
+    "giant-method",
+    "dense-callgraph",
+    "many-states",
+    "mutated",
+    "corrupted",
+)
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated input: sources plus provenance."""
+
+    seed: int
+    index: int
+    family: str
+    #: The generated sources, *excluding* the standard annotated API.
+    sources: tuple = ()
+    #: Prepend the Iterator/Collection API (as ``repro infer``'s
+    #: default ``--api`` does)?
+    include_api: bool = True
+
+    @property
+    def label(self):
+        return "fuzz-%d-%d-%s" % (self.seed, self.index, self.family)
+
+    def pipeline_sources(self):
+        """The full source tuple the pipeline should run on."""
+        if self.include_api:
+            return (ITERATOR_API_SOURCE,) + tuple(self.sources)
+        return tuple(self.sources)
+
+    def to_payload(self):
+        return {
+            "seed": self.seed,
+            "index": self.index,
+            "family": self.family,
+            "sources": list(self.sources),
+            "include_api": self.include_api,
+        }
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(
+            seed=int(payload["seed"]),
+            index=int(payload["index"]),
+            family=str(payload["family"]),
+            sources=tuple(payload["sources"]),
+            include_api=bool(payload["include_api"]),
+        )
+
+
+def _rng_for(seed, index):
+    # A multiplier keeps neighbouring (seed, index) streams decorrelated.
+    return random.Random((seed * 1_000_003 + 7) ^ (index * 69_069 + 1))
+
+
+def generate_case(seed, index):
+    """The deterministic case at position ``index`` of campaign ``seed``."""
+    family = FAMILIES[index % len(FAMILIES)]
+    rng = _rng_for(seed, index)
+    builder = _BUILDERS[family]
+    return builder(rng, seed, index)
+
+
+# ---------------------------------------------------------------------------
+# valid clients
+# ---------------------------------------------------------------------------
+
+def _valid_statements(rng, depth, method_count, self_index):
+    """A random list of statement strings for one method body."""
+    statements = []
+    for _ in range(rng.randint(1, 4)):
+        choice = rng.random()
+        if choice < 0.30:
+            statements.append(
+                "Iterator<String> it%d = c.iterator();" % rng.randint(0, 3)
+            )
+        elif choice < 0.50:
+            it = rng.randint(0, 3)
+            statements.append("Iterator<String> it%d = c.iterator();" % it)
+            statements.append(
+                "while (it%d.hasNext()) { String s%d = it%d.next(); }"
+                % (it, rng.randint(0, 9), it)
+            )
+        elif choice < 0.62:
+            it = rng.randint(0, 3)
+            statements.append("Iterator<String> it%d = c.iterator();" % it)
+            statements.append(
+                "if (it%d.hasNext()) { it%d.next(); }" % (it, it)
+            )
+        elif choice < 0.72:
+            statements.append("int n%d = c.size();" % rng.randint(0, 9))
+        elif choice < 0.80:
+            statements.append('c.add("v%d");' % rng.randint(0, 99))
+        elif choice < 0.90 and method_count > 1:
+            callee = rng.randrange(method_count)
+            if callee != self_index:
+                statements.append("this.m%d(c);" % callee)
+        elif depth < 2:
+            inner = _valid_statements(rng, depth + 1, method_count, self_index)
+            keyword = rng.choice(
+                ["if (c.size() > 0)", "while (c.size() > %d)" % rng.randint(1, 9)]
+            )
+            statements.append("%s { %s }" % (keyword, " ".join(inner)))
+    return statements
+
+
+def _render_client(methods, class_name="Client"):
+    lines = ["class %s {" % class_name]
+    for name, body_statements in methods:
+        lines.append("    void %s(Collection<String> c) {" % name)
+        for statement in body_statements:
+            lines.append("        " + statement)
+        lines.append("    }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _build_valid(rng, seed, index):
+    method_count = rng.randint(1, 4)
+    methods = [
+        ("m%d" % i, _valid_statements(rng, 0, method_count, i))
+        for i in range(method_count)
+    ]
+    return FuzzCase(seed, index, "valid", (_render_client(methods),))
+
+
+# ---------------------------------------------------------------------------
+# pathological families
+# ---------------------------------------------------------------------------
+
+def _build_deep_nesting(rng, seed, index):
+    depth = rng.randint(60, 220)
+    shape = rng.randrange(3)
+    if shape == 0:  # parenthesized expression bomb
+        expr = "(" * depth + "1" + ")" * depth
+        body = "int x = %s;" % expr
+    elif shape == 1:  # nested block bomb
+        body = "{" * depth + "int x = 1;" + "}" * depth
+    else:  # if-chain bomb
+        body = (
+            "if (c.size() > 0) { " * depth
+            + "int x = 1;"
+            + " }" * depth
+        )
+    source = (
+        "class Deep {\n"
+        "    void m0(Collection<String> c) {\n"
+        "        %s\n"
+        "    }\n"
+        "}\n" % body
+    )
+    return FuzzCase(seed, index, "deep-nesting", (source,))
+
+
+def _build_giant_method(rng, seed, index):
+    statements = []
+    for i in range(rng.randint(300, 1200)):
+        pick = i % 3
+        if pick == 0:
+            statements.append("int n%d = c.size();" % i)
+        elif pick == 1:
+            statements.append('c.add("v%d");' % i)
+        else:
+            statements.append("c.size();")
+    if rng.random() < 0.5:
+        # Sometimes push a literal toward (occasionally past) the
+        # 64 KiB literal budget.
+        length = rng.choice([1_000, 30_000, 70_000])
+        statements.append('String blob = "%s";' % ("a" * length))
+    return FuzzCase(
+        seed, index, "giant-method", (_render_client([("m0", statements)]),)
+    )
+
+
+def _build_dense_callgraph(rng, seed, index):
+    method_count = rng.randint(5, 12)
+    methods = []
+    for i in range(method_count):
+        body = ["Iterator<String> it0 = c.iterator();"]
+        if rng.random() < 0.6:
+            body.append("while (it0.hasNext()) { it0.next(); }")
+        # Dense edges, cycles included (a method may call any other,
+        # earlier or later, and chains loop back to m0).
+        for _ in range(rng.randint(2, method_count)):
+            body.append("this.m%d(c);" % rng.randrange(method_count))
+        methods.append(("m%d" % i, body))
+    return FuzzCase(
+        seed, index, "dense-callgraph", (_render_client(methods),)
+    )
+
+
+def _build_many_states(rng, seed, index):
+    state_count = rng.randint(66, 96)  # past the 64-bit checker tier
+    states = ["S%d" % i for i in range(state_count)]
+    lines = ['@States("%s")' % ", ".join(states), "class Widget {", "    Widget() { }"]
+    step_count = rng.randint(3, 8)
+    for i in range(step_count):
+        source_state = states[rng.randrange(state_count)]
+        target_state = states[rng.randrange(state_count)]
+        lines.append(
+            '    @Perm(requires="full(this) in %s", ensures="full(this) in %s")'
+            % (source_state, target_state)
+        )
+        lines.append("    void step%d() { }" % i)
+    lines.append('    @Perm(requires="pure(this) in ALIVE", ensures="pure(this)")')
+    lines.append("    boolean probe() { return true; }")
+    lines.append("}")
+    widget = "\n".join(lines) + "\n"
+    calls = ["Widget w = new Widget();"]
+    for _ in range(rng.randint(1, 5)):
+        calls.append("w.step%d();" % rng.randrange(step_count))
+        if rng.random() < 0.4:
+            calls.append("boolean b = w.probe();")
+    client = (
+        "class States {\n"
+        "    void use() {\n        "
+        + "\n        ".join(calls)
+        + "\n    }\n}\n"
+    )
+    return FuzzCase(seed, index, "many-states", (widget, client))
+
+
+# ---------------------------------------------------------------------------
+# invalid families
+# ---------------------------------------------------------------------------
+
+def _build_mutated(rng, seed, index):
+    base = _build_valid(rng, seed, index).sources[0]
+    text = base
+    for _ in range(rng.randint(1, 4)):
+        if not text:
+            break
+        kind = rng.randrange(4)
+        at = rng.randrange(len(text))
+        if kind == 0:  # delete a span
+            span = rng.randint(1, 12)
+            text = text[:at] + text[at + span :]
+        elif kind == 1:  # duplicate a span
+            span = rng.randint(1, 12)
+            text = text[:at] + text[at : at + span] + text[at:]
+        elif kind == 2:  # replace one char with hostile punctuation
+            text = text[:at] + rng.choice('{}();<>"\'\\@') + text[at + 1 :]
+        else:  # swap two characters
+            other = rng.randrange(len(text))
+            low, high = sorted((at, other))
+            if low != high:
+                text = (
+                    text[:low]
+                    + text[high]
+                    + text[low + 1 : high]
+                    + text[low]
+                    + text[high + 1 :]
+                )
+    return FuzzCase(seed, index, "mutated", (text,))
+
+
+def _build_corrupted(rng, seed, index):
+    base = _build_valid(rng, seed, index).sources[0]
+    kind = rng.randrange(4)
+    if kind == 0:  # NUL injection
+        at = rng.randrange(len(base))
+        text = base[:at] + "\x00" + base[at:]
+    elif kind == 1:  # non-ASCII injection
+        at = rng.randrange(len(base))
+        text = base[:at] + rng.choice("é中🙂\x80﻿") + base[at:]
+    elif kind == 2:  # truncation
+        text = base[: rng.randrange(1, len(base))]
+    else:  # random byte salad over a span
+        at = rng.randrange(len(base))
+        salad = "".join(chr(rng.randrange(256)) for _ in range(rng.randint(1, 24)))
+        text = base[:at] + salad + base[at:]
+    return FuzzCase(seed, index, "corrupted", (text,))
+
+
+_BUILDERS = {
+    "valid": _build_valid,
+    "deep-nesting": _build_deep_nesting,
+    "giant-method": _build_giant_method,
+    "dense-callgraph": _build_dense_callgraph,
+    "many-states": _build_many_states,
+    "mutated": _build_mutated,
+    "corrupted": _build_corrupted,
+}

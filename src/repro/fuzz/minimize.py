@@ -1,0 +1,83 @@
+"""Delta debugging (Zeller's ddmin) for failing fuzz programs.
+
+``ddmin`` shrinks a list of items to a locally 1-minimal sublist that
+still satisfies ``test``; :func:`minimize_source` applies it to program
+text at line granularity first (cheap, large strides) and then at
+character-chunk granularity inside whatever survives (so a one-line
+recursion bomb still shrinks).  Every call is budgeted: minimization is
+a convenience on the failure path, never allowed to dominate a campaign.
+"""
+
+
+def ddmin(items, test, budget=None):
+    """Zeller's ddmin: a 1-minimal sublist of ``items`` with ``test``
+    still true.  ``test`` must hold for ``items`` itself.  ``budget``
+    bounds the number of ``test`` evaluations (None = unbounded).
+    """
+    remaining = list(items)
+    calls = [0]
+
+    def check(candidate):
+        if budget is not None and calls[0] >= budget:
+            return False
+        calls[0] += 1
+        return test(candidate)
+
+    granularity = 2
+    while len(remaining) >= 2:
+        chunk = max(1, len(remaining) // granularity)
+        subsets = [
+            remaining[at : at + chunk]
+            for at in range(0, len(remaining), chunk)
+        ]
+        reduced = False
+        for index, subset in enumerate(subsets):
+            complement = [
+                item
+                for other, subset_other in enumerate(subsets)
+                if other != index
+                for item in subset_other
+            ]
+            if complement and check(complement):
+                remaining = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(remaining):
+                break
+            granularity = min(len(remaining), granularity * 2)
+        if budget is not None and calls[0] >= budget:
+            break
+    return remaining
+
+
+def _chunks(text, size):
+    return [text[at : at + size] for at in range(0, len(text), size)]
+
+
+def minimize_source(source, predicate, budget=250):
+    """Shrink ``source`` while ``predicate(smaller_source)`` stays true.
+
+    ``predicate`` receives candidate program text and returns True when
+    the candidate still reproduces the original failure.  The input
+    itself must satisfy the predicate.  Returns the minimized text (the
+    input unchanged if nothing smaller reproduces).
+    """
+    if not predicate(source):
+        return source
+    # Pass 1: whole lines.
+    lines = source.splitlines(keepends=True)
+    if len(lines) > 1:
+        lines = ddmin(lines, lambda kept: predicate("".join(kept)), budget)
+    text = "".join(lines)
+    # Pass 2: character chunks, for failures living inside one line
+    # (e.g. a parenthesized-expression bomb).  Chunk size shrinks while
+    # progress is made and budget remains.
+    for chunk_size in (64, 16, 4, 1):
+        if len(text) <= chunk_size:
+            continue
+        pieces = _chunks(text, chunk_size)
+        pieces = ddmin(pieces, lambda kept: predicate("".join(kept)), budget)
+        text = "".join(pieces)
+    return text

@@ -6,6 +6,7 @@ are skipped; string and char literals support the common escape sequences.
 """
 
 from repro.java.errors import LexError
+from repro.resilience.limits import ResourceLimitError
 from repro.java.tokens import (
     BOOL_LIT,
     CHAR_LIT,
@@ -35,13 +36,29 @@ _ESCAPES = {
 
 
 class Lexer:
-    """Scans Java-subset source text into tokens."""
+    """Scans Java-subset source text into tokens.
 
-    def __init__(self, source):
+    When ``limits`` (a :class:`repro.resilience.limits.ResourceLimits`)
+    is given, the scanner enforces the source-size, token-count and
+    literal-length budgets and raises a typed ``ResourceLimitError`` on
+    breach — callers quarantine it like any other frontend failure.
+    """
+
+    def __init__(self, source, limits=None):
         self.source = source
         self.pos = 0
         self.line = 1
         self.column = 1
+        self.limits = limits
+        self._max_tokens = limits.cap("max_tokens") if limits else 0
+        self._max_literal = limits.cap("max_literal_chars") if limits else 0
+        if limits:
+            limits.check(
+                "max_source_chars",
+                "source-chars",
+                len(source),
+                "lexer input",
+            )
 
     # -- low-level cursor helpers ------------------------------------------
 
@@ -75,6 +92,13 @@ class Lexer:
             result.append(token)
             if token.kind == EOF:
                 return result
+            if self._max_tokens and len(result) > self._max_tokens:
+                raise ResourceLimitError(
+                    "token-count",
+                    len(result),
+                    self._max_tokens,
+                    "line %d" % token.line,
+                )
 
     def next_token(self):
         self._skip_trivia()
@@ -168,6 +192,13 @@ class Lexer:
             else:
                 chars.append(char)
                 self._advance()
+            if self._max_literal and len(chars) > self._max_literal:
+                raise ResourceLimitError(
+                    "literal-chars",
+                    len(chars),
+                    self._max_literal,
+                    "string literal at line %d" % line,
+                )
 
     def _scan_char(self):
         line, column = self.line, self.column
@@ -197,6 +228,6 @@ class Lexer:
         self._error("unexpected character %r" % self._peek())
 
 
-def tokenize(source):
+def tokenize(source, limits=None):
     """Tokenize ``source`` and return the token list (including EOF)."""
-    return Lexer(source).tokens()
+    return Lexer(source, limits=limits).tokens()

@@ -11,6 +11,7 @@ where ``A<B> x`` and ``a < b`` share a prefix.
 from repro.java import ast
 from repro.java.errors import JavaSyntaxError
 from repro.java.lexer import tokenize
+from repro.resilience.limits import ResourceLimitError, recursion_guard
 from repro.java.tokens import (
     BOOL_LIT,
     CHAR_LIT,
@@ -29,11 +30,31 @@ _ASSIGN_OPS = frozenset(["=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<
 
 
 class Parser:
-    """Parses a token stream into a :class:`repro.java.ast.CompilationUnit`."""
+    """Parses a token stream into a :class:`repro.java.ast.CompilationUnit`.
 
-    def __init__(self, tokens):
+    When ``limits`` (a :class:`repro.resilience.limits.ResourceLimits`)
+    is given, statement/expression nesting depth is counted explicitly
+    and a breach raises a typed ``ResourceLimitError`` — deterministic
+    and well before CPython's own recursion limit, so a nesting bomb is
+    a quarantinable parse failure rather than a ``RecursionError``.
+    """
+
+    def __init__(self, tokens, limits=None):
         self.tokens = tokens
         self.pos = 0
+        self.depth = 0
+        self._max_depth = limits.cap("max_parse_depth") if limits else 0
+
+    def _enter(self):
+        self.depth += 1
+        if self._max_depth and self.depth > self._max_depth:
+            token = self._peek()
+            raise ResourceLimitError(
+                "parse-depth",
+                self.depth,
+                self._max_depth,
+                "line %d" % token.line,
+            )
 
     # -- token stream helpers ----------------------------------------------
 
@@ -374,6 +395,13 @@ class Parser:
         return block
 
     def parse_statement(self):
+        self._enter()
+        try:
+            return self._parse_statement()
+        finally:
+            self.depth -= 1
+
+    def _parse_statement(self):
         token = self._peek()
         if token.is_punct("{"):
             return self.parse_block()
@@ -611,12 +639,28 @@ class Parser:
     # -- expressions -------------------------------------------------------------
 
     def parse_expression(self):
-        return self._parse_assignment()
+        self._enter()
+        try:
+            return self._parse_assignment()
+        finally:
+            self.depth -= 1
+
+    #: The only expression forms that may appear left of an assignment
+    #: operator; anything else (``a < b = c``) is a syntax error, which
+    #: keeps downstream lowering total over parsed programs.
+    _ASSIGN_TARGETS = (ast.VarRef, ast.FieldAccess, ast.ArrayAccess)
 
     def _parse_assignment(self):
         left = self._parse_conditional()
         token = self._peek()
         if token.kind == PUNCT and token.value in _ASSIGN_OPS:
+            if not isinstance(left, self._ASSIGN_TARGETS):
+                raise JavaSyntaxError(
+                    "invalid assignment target %s"
+                    % type(left).__name__,
+                    left.line,
+                    left.column,
+                )
             op = self._advance().value
             value = self._parse_assignment()
             return ast.Assign(
@@ -833,11 +877,21 @@ class Parser:
         self._error("unexpected token %r in expression" % (token.value,))
 
 
-def parse_compilation_unit(source):
-    """Parse source text into a :class:`repro.java.ast.CompilationUnit`."""
-    return Parser(tokenize(source)).parse_compilation_unit()
+def parse_compilation_unit(source, limits=None):
+    """Parse source text into a :class:`repro.java.ast.CompilationUnit`.
+
+    With ``limits``, the lexer/parser budgets are enforced and any
+    escaping ``RecursionError`` (ambient stack already deep enough that
+    the explicit depth counter never fired) is converted into the same
+    typed ``ResourceLimitError``.
+    """
+    if limits is None:
+        return Parser(tokenize(source)).parse_compilation_unit()
+    with recursion_guard("parse-depth", "recursive-descent parse"):
+        tokens = tokenize(source, limits=limits)
+        return Parser(tokens, limits=limits).parse_compilation_unit()
 
 
-def parse_program(sources):
+def parse_program(sources, limits=None):
     """Parse a list of source texts and return their compilation units."""
-    return [parse_compilation_unit(source) for source in sources]
+    return [parse_compilation_unit(source, limits=limits) for source in sources]

@@ -7,6 +7,7 @@ source.
 """
 
 from repro.java import ast
+from repro.resilience.limits import recursion_guard
 
 
 class PrettyPrinter:
@@ -23,12 +24,17 @@ class PrettyPrinter:
     def render(self, node):
         self.lines = []
         self.depth = 0
-        if isinstance(node, ast.CompilationUnit):
-            self._unit(node)
-        elif isinstance(node, ast.ClassDecl):
-            self._class(node)
-        else:
-            raise TypeError("cannot pretty-print %r" % type(node).__name__)
+        # The printer recurses over expression/statement structure; an
+        # AST that survived parsing under relaxed limits (or was built
+        # programmatically) must still fail typed, not with an
+        # interpreter RecursionError.
+        with recursion_guard("render-depth", "pretty-printer"):
+            if isinstance(node, ast.CompilationUnit):
+                self._unit(node)
+            elif isinstance(node, ast.ClassDecl):
+                self._class(node)
+            else:
+                raise TypeError("cannot pretty-print %r" % type(node).__name__)
         return "\n".join(self.lines) + "\n"
 
     # -- declarations --------------------------------------------------------

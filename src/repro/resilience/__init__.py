@@ -44,6 +44,11 @@ from repro.resilience.faults import (
     install_fault_plan,
     maybe_fault,
 )
+from repro.resilience.limits import (
+    ResourceLimitError,
+    ResourceLimits,
+    recursion_guard,
+)
 from repro.resilience.policy import ResiliencePolicy
 from repro.resilience.report import FailureRecord, FailureReport
 
@@ -51,6 +56,9 @@ __all__ = [
     "FailureRecord",
     "FailureReport",
     "ResiliencePolicy",
+    "ResourceLimitError",
+    "ResourceLimits",
+    "recursion_guard",
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",

@@ -8,7 +8,9 @@ bit-identical to a non-resilient one, so artifacts are shared across
 policy settings.
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+from repro.resilience.limits import ResourceLimits
 
 
 @dataclass(frozen=True)
@@ -48,6 +50,14 @@ class ResiliencePolicy:
     #: (0 = wait forever).  A timeout is treated as a hung worker: the
     #: pool is terminated, rebuilt, and the chunk requeued.
     worker_timeout: float = 0.0
+    #: Resource budgets for every untrusted-input stage (lexer, parser,
+    #: PFG builder, factor graph, worklist).  Checks are pure threshold
+    #: comparisons; a breach quarantines the unit of work with the
+    #: ``resource-limit`` disposition.  Governance applies even when the
+    #: master ``enabled`` switch is off — limits protect the *process*,
+    #: not just resilient runs — and is turned off only via
+    #: ``ResourceLimits.disabled()``.
+    limits: ResourceLimits = field(default_factory=ResourceLimits)
 
     def __post_init__(self):
         if self.solve_deadline < 0:

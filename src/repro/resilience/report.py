@@ -67,6 +67,10 @@ DISPOSITIONS = (
     #: to the full fractional-permission checker — warnings are still
     #: bit-identical to a clean run, so this is not a degradation.
     "tier-fallback",
+    #: An input exceeded an explicit resource budget (nesting depth,
+    #: token count, graph size, worklist visits...) and the affected
+    #: unit/method/stage was quarantined instead of crashing the run.
+    "resource-limit",
 )
 
 
@@ -122,6 +126,7 @@ _DEGRADED = frozenset(
         "degraded-prior-only",
         "executor-degraded",
         "stage-skipped",
+        "resource-limit",
     )
 )
 

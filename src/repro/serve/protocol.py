@@ -25,8 +25,16 @@ from repro.core.parallel import EXECUTORS
 MAGIC = b"ANK1"
 
 #: Frames above this are refused — a local analysis request has no
-#: business shipping hundreds of megabytes of source.
+#: business shipping hundreds of megabytes of source.  This is the
+#: protocol-level hard ceiling; the server can configure a *lower*
+#: per-connection cap (``AnekServer(max_frame_bytes=...)``).
 MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+#: Total UTF-8 source bytes one request may carry (sum over all its
+#: ``sources``).  Bounds what a single admitted request can make the
+#: pipeline chew on, independently of frame size (JSON escapes can make
+#: a frame much larger or slightly smaller than the decoded sources).
+MAX_SOURCE_BYTES = 32 * 1024 * 1024
 
 #: Operations the daemon accepts.  ``health`` is the supervisor's and
 #: load balancer's probe: queue depth, worker saturation, RSS, and the
@@ -64,6 +72,18 @@ MAX_IDEMPOTENCY_KEY = 128
 
 class ProtocolError(Exception):
     """A malformed frame or an invalid request payload."""
+
+
+class FrameTooLarge(ProtocolError):
+    """A frame announced a length above the configured cap.
+
+    Raised *from the 8-byte header alone*, before any body bytes are
+    buffered — a hostile length prefix can never drive buffer growth.
+    Distinguished from :class:`ProtocolError` so the server can answer
+    with a clean ``invalid`` response (the stream is still framed and
+    trustworthy: nothing of the oversized body was consumed out of
+    sync) instead of the generic error-and-drop path.
+    """
 
 
 def encode_message(payload):
@@ -117,15 +137,33 @@ class FrameBuffer:
 
     Feed it whatever ``recv`` produced; it yields every complete message
     and keeps the partial tail for the next feed.  Raises
-    :class:`ProtocolError` on a bad magic or an oversized length — the
+    :class:`ProtocolError` on a bad magic or an undecodable body — the
     server then drops the connection, since the stream can no longer be
     trusted to re-synchronize.
+
+    A frame announcing a length above ``max_frame`` raises
+    :class:`FrameTooLarge` from the header alone and switches the
+    decoder into *discard mode*: the oversized body is drained from
+    subsequent feeds without ever being buffered, after which normal
+    framing resumes — the connection survives, one hostile frame costs
+    one ``invalid`` response and at most ``max_frame`` resident bytes.
+    Messages completed earlier in the same feed ride along on the
+    exception's ``messages`` attribute so none are lost.
     """
 
-    def __init__(self):
+    def __init__(self, max_frame=None):
         self._buffer = bytearray()
+        self.max_frame = min(max_frame or MAX_MESSAGE_BYTES, MAX_MESSAGE_BYTES)
+        #: Bytes of an oversized frame body still to drain.
+        self._discard = 0
 
     def feed(self, data):
+        if self._discard:
+            if len(data) <= self._discard:
+                self._discard -= len(data)
+                return []
+            data = data[self._discard :]
+            self._discard = 0
         self._buffer.extend(data)
         messages = []
         header_len = len(MAGIC) + 4
@@ -139,10 +177,16 @@ class FrameBuffer:
             (length,) = struct.unpack(
                 "<I", bytes(self._buffer[len(MAGIC) : header_len])
             )
-            if length > MAX_MESSAGE_BYTES:
-                raise ProtocolError(
-                    "frame of %d bytes exceeds the limit" % length
+            if length > self.max_frame:
+                buffered_body = min(len(self._buffer) - header_len, length)
+                del self._buffer[: header_len + buffered_body]
+                self._discard = length - buffered_body
+                error = FrameTooLarge(
+                    "frame of %d bytes exceeds the %d byte limit"
+                    % (length, self.max_frame)
                 )
+                error.messages = messages
+                raise error
             if len(self._buffer) < header_len + length:
                 return messages
             body = bytes(self._buffer[header_len : header_len + length])
@@ -181,12 +225,13 @@ REQUEST_DEFAULTS = {
 CHECK_TIERS = ("full", "bitvector", "auto")
 
 
-def normalize_request(payload):
+def normalize_request(payload, max_source_bytes=MAX_SOURCE_BYTES):
     """Validate one raw request dict into a fully-defaulted copy.
 
     Raises :class:`ProtocolError` with a requester-facing message on any
-    unknown field, unknown op, or out-of-range knob (the same ranges the
-    CLI's argparse validators enforce).
+    unknown field, unknown op, out-of-range knob (the same ranges the
+    CLI's argparse validators enforce), or a ``sources`` payload whose
+    total UTF-8 size exceeds ``max_source_bytes`` (0 = unlimited).
     """
     if not isinstance(payload, dict):
         raise ProtocolError(
@@ -210,6 +255,13 @@ def normalize_request(payload):
     request["sources"] = tuple(sources)
     if request["op"] in ("infer", "check") and not sources:
         raise ProtocolError("op %r requires sources" % request["op"])
+    if max_source_bytes:
+        total = sum(len(source.encode("utf-8")) for source in sources)
+        if total > max_source_bytes:
+            raise ProtocolError(
+                "sources of %d bytes exceed the %d byte limit"
+                % (total, max_source_bytes)
+            )
     if not isinstance(request["threshold"], (int, float)) or not (
         0.5 <= request["threshold"] < 1.0
     ):

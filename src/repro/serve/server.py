@@ -75,7 +75,9 @@ from repro.resilience.policy import ResiliencePolicy
 from repro.resilience.report import FailureReport
 from repro.serve.batching import plan_batch, work_fingerprint
 from repro.serve.protocol import (
+    MAX_SOURCE_BYTES,
     FrameBuffer,
+    FrameTooLarge,
     ProtocolError,
     normalize_request,
     recv_message,
@@ -124,9 +126,9 @@ def probe_live_daemon(socket_path, timeout=0.5):
 class _Connection:
     """One client connection: socket, frame decoder, serialized writes."""
 
-    def __init__(self, sock):
+    def __init__(self, sock, max_frame=None):
         self.sock = sock
-        self.buffer = FrameBuffer()
+        self.buffer = FrameBuffer(max_frame=max_frame)
         #: Responses for one connection may come from the front end and
         #: several workers; the lock keeps frames from interleaving.
         self.write_lock = threading.Lock()
@@ -172,6 +174,8 @@ class AnekServer:
         replay_limit=DEFAULT_REPLAY_LIMIT,
         heartbeat_path=None,
         heartbeat_interval=1.0,
+        max_frame_bytes=0,
+        max_source_bytes=MAX_SOURCE_BYTES,
     ):
         if (socket_path is None) == (port is None):
             raise ValueError(
@@ -189,6 +193,12 @@ class AnekServer:
         self.queue = BoundedRequestQueue(limit=queue_limit)
         #: Soft RSS budget in MiB; 0 disables overload shedding.
         self.max_rss_mb = max(0, int(max_rss_mb))
+        #: Per-connection frame cap in bytes (0 = the protocol ceiling).
+        #: A frame announcing more is answered ``invalid`` from its
+        #: header alone; the body is drained, never buffered.
+        self.max_frame_bytes = max(0, int(max_frame_bytes))
+        #: Total source bytes one request may carry (0 = unlimited).
+        self.max_source_bytes = max(0, int(max_source_bytes))
         #: Completed responses for idempotent retry replay.
         self.replay = ReplayCache(limit=replay_limit)
         self.heartbeat_path = heartbeat_path
@@ -357,7 +367,7 @@ class AnekServer:
         # Blocking socket + selector readiness: recv never blocks (we
         # only call it when readable) and sendall needs no write queue.
         sock.setblocking(True)
-        connection = _Connection(sock)
+        connection = _Connection(sock, max_frame=self.max_frame_bytes or None)
         with self._connections_lock:
             self._connections.add(connection)
         self._selector.register(sock, selectors.EVENT_READ, data=connection)
@@ -382,6 +392,16 @@ class AnekServer:
             return
         try:
             messages = connection.buffer.feed(data)
+        except FrameTooLarge as exc:
+            # The header alone announced too much; the decoder drains
+            # the body without buffering it and stays in sync, so the
+            # refusal is a clean ``invalid`` and the connection lives.
+            self.failures.record("serve", "frame", exc, "resource-limit")
+            self._count_status("invalid")
+            connection.send(
+                {"status": "invalid", "error": str(exc), "retryable": False}
+            )
+            messages = exc.messages
         except ProtocolError as exc:
             # The stream cannot re-synchronize after a framing error.
             connection.send({"status": "error", "error": str(exc)})
@@ -392,7 +412,9 @@ class AnekServer:
 
     def _handle_message(self, connection, raw):
         try:
-            request = normalize_request(raw)
+            request = normalize_request(
+                raw, max_source_bytes=self.max_source_bytes
+            )
         except ProtocolError as exc:
             self._count_status("invalid")
             connection.send({"status": "invalid", "error": str(exc)})

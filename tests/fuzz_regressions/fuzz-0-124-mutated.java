@@ -1,0 +1,4 @@
+class Cl {
+ oid m0(Cn<St> c) {  while (ize) {or<S= tor(); while (c > 2) {  } }
+    }
+}

@@ -1,0 +1,228 @@
+"""Unit tests for the structured fuzzing subsystem.
+
+Covers generator determinism and family shapes, the ddmin minimizer
+(including the demonstrable-shrink contract on an injected failure), the
+sentinel runner, a small end-to-end campaign, regression corpus
+write/load round-trips, and the ``repro fuzz`` CLI.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.fuzz import (
+    FAMILIES,
+    CampaignResult,
+    FuzzCase,
+    ddmin,
+    generate_case,
+    minimize_source,
+    replay_regressions,
+    run_campaign,
+    run_case,
+)
+from repro.fuzz.campaign import load_regression, write_regression
+from repro.fuzz.sentinels import CaseReport
+
+
+# ---------------------------------------------------------------------------
+# Generator
+# ---------------------------------------------------------------------------
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        for index in range(len(FAMILIES)):
+            first = generate_case(3, index)
+            second = generate_case(3, index)
+            assert first == second
+
+    def test_seed_changes_stream(self):
+        assert generate_case(0, 0).sources != generate_case(1, 0).sources
+
+    def test_family_rotation(self):
+        labels = [generate_case(0, index).family for index in range(14)]
+        assert tuple(labels[: len(FAMILIES)]) == FAMILIES
+        assert labels[len(FAMILIES) :] == labels[: len(FAMILIES)]
+
+    def test_family_shapes(self):
+        by_family = {
+            generate_case(5, index).family: generate_case(5, index)
+            for index in range(len(FAMILIES))
+        }
+        assert "class" in by_family["valid"].sources[0]
+        deep = by_family["deep-nesting"].sources[0]
+        assert deep.count("(") > 50 or deep.count("{") > 50
+        assert by_family["giant-method"].sources[0].count(";") > 250
+        assert by_family["dense-callgraph"].sources[0].count("this.m") >= 10
+        widget = by_family["many-states"].sources[0]
+        assert "@States" in widget and widget.count("S6") >= 1
+        assert len(by_family["many-states"].sources) == 2
+
+    def test_payload_round_trip(self):
+        case = generate_case(2, 4)
+        assert FuzzCase.from_payload(case.to_payload()) == case
+
+    def test_pipeline_sources_prepend_api(self):
+        case = generate_case(0, 0)
+        assert case.include_api
+        assert len(case.pipeline_sources()) == len(case.sources) + 1
+
+
+# ---------------------------------------------------------------------------
+# Minimizer
+# ---------------------------------------------------------------------------
+
+
+class TestMinimizer:
+    def test_ddmin_finds_single_culprit(self):
+        items = list(range(50))
+        result = ddmin(items, lambda kept: 37 in kept)
+        assert result == [37]
+
+    def test_ddmin_multi_culprit(self):
+        items = list(range(40))
+        result = ddmin(items, lambda kept: 7 in kept and 31 in kept)
+        assert sorted(result) == [7, 31]
+
+    def test_ddmin_budget_bounds_calls(self):
+        calls = [0]
+
+        def test(kept):
+            calls[0] += 1
+            return 5 in kept
+
+        ddmin(list(range(1000)), test, budget=30)
+        assert calls[0] <= 30
+
+    def test_minimize_source_shrinks_injected_failure(self):
+        # The demonstrable-shrink contract: a "failure" that needs only
+        # one marker token must shrink to (nearly) just that marker.
+        lines = ["int a%d = %d;\n" % (i, i) for i in range(40)]
+        lines[23] = "BOOM();\n"
+        source = "".join(lines)
+        minimized = minimize_source(source, lambda text: "BOOM" in text)
+        assert "BOOM" in minimized
+        assert len(minimized) < len(source) // 10
+        assert minimized.strip() == "BOOM"
+
+    def test_minimize_source_intra_line(self):
+        # A one-line program still shrinks via the char-chunk passes.
+        source = "x" * 300 + "NEEDLE" + "y" * 300
+        minimized = minimize_source(source, lambda text: "NEEDLE" in text)
+        assert minimized == "NEEDLE"
+
+    def test_minimize_source_requires_reproducing_input(self):
+        source = "hello world"
+        assert minimize_source(source, lambda text: False) == source
+
+
+# ---------------------------------------------------------------------------
+# Sentinels
+# ---------------------------------------------------------------------------
+
+
+class TestSentinels:
+    def test_valid_case_survives(self):
+        report = run_case(generate_case(0, 0), differential=False)
+        assert report.ok
+        assert report.survivor
+
+    def test_deep_nesting_is_quarantined_clean(self):
+        report = run_case(generate_case(0, 1), differential=False)
+        assert report.ok
+        assert not report.survivor
+        assert "resource-limit" in report.dispositions
+
+    def test_differentials_run_on_small_survivors(self):
+        report = run_case(generate_case(0, 0), differential=True)
+        assert report.ok
+
+    def test_report_shape(self):
+        report = run_case(generate_case(0, 6), differential=False)
+        assert isinstance(report, CaseReport)
+        assert report.seconds >= 0.0
+        assert isinstance(report.violations, list)
+
+
+# ---------------------------------------------------------------------------
+# Campaign + regression corpus
+# ---------------------------------------------------------------------------
+
+
+class TestCampaign:
+    def test_small_campaign_clean(self, tmp_path):
+        result = run_campaign(
+            0, len(FAMILIES), regressions_dir=str(tmp_path / "regressions")
+        )
+        assert isinstance(result, CampaignResult)
+        assert result.ok, result.violations
+        assert result.cases_run == len(FAMILIES)
+        assert set(result.by_family) == set(FAMILIES)
+        assert result.survivors >= 1
+        assert not result.regressions_written
+        assert "seed=0" in result.summary_line()
+
+    def test_regression_write_load_round_trip(self, tmp_path):
+        case = generate_case(1, 5)
+        report = CaseReport(case=case, violations=["no-crash: injected"])
+        paths = write_regression(str(tmp_path), case, report, 1234)
+        assert sorted(path.rsplit(".", 1)[1] for path in paths) == [
+            "java",
+            "json",
+        ]
+        loaded = load_regression(paths[0])
+        assert loaded == case
+        payload = json.loads(open(paths[0]).read())
+        assert payload["violations"] == ["no-crash: injected"]
+        assert payload["original_chars"] == 1234
+
+    def test_replay_empty_corpus(self, tmp_path):
+        assert replay_regressions(str(tmp_path / "missing")) == []
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert replay_regressions(str(empty)) == []
+
+    def test_replay_runs_stored_case(self, tmp_path):
+        case = generate_case(0, 0)
+        write_regression(
+            str(tmp_path), case, CaseReport(case=case, violations=["x: y"]), 1
+        )
+        replays = replay_regressions(str(tmp_path))
+        assert len(replays) == 1
+        path, report = replays[0]
+        assert path.endswith(".json")
+        assert report.ok  # the stored case no longer violates
+
+
+class TestFuzzCli:
+    def test_campaign_exit_zero(self, tmp_path, capsys):
+        code = cli_main(
+            [
+                "fuzz",
+                "--seed",
+                "0",
+                "--budget",
+                "2",
+                "--regressions-dir",
+                str(tmp_path / "regressions"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fuzz: seed=0 budget=2 ran=2" in out
+
+    def test_replay_exit_zero_when_empty(self, tmp_path, capsys):
+        code = cli_main(
+            ["fuzz", "--replay", "--regressions-dir", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "replayed 0 regression(s)" in out
+
+    def test_budget_validation(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["fuzz", "--budget", "0"])
+        assert excinfo.value.code == 3
+        capsys.readouterr()

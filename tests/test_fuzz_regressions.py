@@ -1,0 +1,20 @@
+"""Replay the permanent fuzz regression corpus.
+
+Every reproducer a campaign ever minimized into
+``tests/fuzz_regressions/`` is re-run under the full sentinel set —
+once a bug, always a test.  An empty corpus passes trivially.
+"""
+
+import os
+
+from repro.fuzz import replay_regressions
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "fuzz_regressions")
+
+
+def test_regression_corpus_replays_clean():
+    failures = []
+    for path, report in replay_regressions(CORPUS_DIR):
+        if not report.ok:
+            failures.append((path, report.violations))
+    assert not failures, "regression corpus violations: %r" % failures

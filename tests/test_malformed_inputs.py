@@ -1,0 +1,111 @@
+"""Malformed-input matrix: hostile text must cost quarantines, never a crash.
+
+Every case runs through the full pipeline under the default policy and
+is held to the same two assertions: ``run_on_sources`` returns (no
+exception escapes), and every resulting ledger record uses the
+documented stage/disposition vocabularies.  The matrix covers the
+classic lexer/parser trouble spots — unterminated strings and comments,
+NUL bytes, non-ASCII text, and truncation at every token boundary of a
+valid program.
+"""
+
+import pytest
+
+from repro.core.infer import InferenceSettings
+from repro.core.pipeline import AnekPipeline
+from repro.java.lexer import tokenize
+from repro.resilience.report import DISPOSITIONS, STAGES
+
+#: A small but representative protocol client.
+BASE_PROGRAM = """class Walker {
+    void walk(Collection<String> c) {
+        Iterator<String> it = c.iterator();
+        while (it.hasNext()) {
+            String s = it.next();
+        }
+    }
+}
+"""
+
+MALFORMED = {
+    "unterminated-string": 'class A { String s = "never closed; }',
+    "unterminated-char": "class A { char c = 'x; }",
+    "unterminated-block-comment": "class A { /* runs off the end",
+    "nested-unterminated-comment": "class A { } /* outer /* inner",
+    "line-comment-eof": "class A { } // no trailing newline",
+    "nul-byte": "class A { void m() { int\x00x = 1; } }",
+    "nul-in-string": 'class A { String s = "a\x00b"; }',
+    "non-ascii-identifier": "class A { void m() { int café = 1; } }",
+    "cjk-text": "class 中文 { void m() { } }",
+    "emoji": "class A { void m() { /* \U0001f642 */ int x = 1; } }",
+    "bom-prefix": "﻿class A { void m() { } }",
+    "high-byte-salad": "class A { \x80\x81\xfe\xff }",
+    "lone-backslash": "class A { void m() { int x = \\; } }",
+    "unbalanced-close": "class A { void m() { } } } } }",
+    "unbalanced-open": "class A { void m() { if (x) { while (y) {",
+    "only-punctuation": "@;:{}()<>,.=+-*/%!&|^~?",
+    "empty": "",
+    "whitespace-only": "   \n\t\r\n   ",
+}
+
+
+def _run(source):
+    pipeline = AnekPipeline(settings=InferenceSettings(), cache=None)
+    return pipeline.run_on_sources([source])
+
+
+def _assert_ledger_clean_vocab(result):
+    for record in result.failures:
+        assert record.stage in STAGES, record.format()
+        assert record.disposition in DISPOSITIONS, record.format()
+
+
+class TestMalformedMatrix:
+    @pytest.mark.parametrize("name", sorted(MALFORMED))
+    def test_quarantine_not_crash(self, name):
+        result = _run(MALFORMED[name])
+        _assert_ledger_clean_vocab(result)
+
+    def test_malformed_beside_valid_unit(self):
+        # A hostile unit must not take a valid sibling down with it.
+        pipeline = AnekPipeline(settings=InferenceSettings(), cache=None)
+        result = pipeline.run_on_sources(
+            [BASE_PROGRAM, MALFORMED["unterminated-string"]]
+        )
+        _assert_ledger_clean_vocab(result)
+        assert any(
+            ref.qualified_name.startswith("Walker.") for ref in result.specs
+        )
+
+
+class TestTruncationMatrix:
+    def _boundaries(self):
+        # Token (line, column) pairs back to flat source offsets: every
+        # token start is a truncation point.
+        line_starts = [0]
+        for line in BASE_PROGRAM.splitlines(keepends=True):
+            line_starts.append(line_starts[-1] + len(line))
+        offsets = sorted(
+            {
+                line_starts[token.line - 1] + token.column - 1
+                for token in tokenize(BASE_PROGRAM)
+                if token.kind != "EOF"
+            }
+        )
+        offsets = [offset for offset in offsets if offset > 0]
+        assert len(offsets) > 30, "expected a real token stream"
+        return offsets
+
+    def test_truncation_at_every_token_boundary(self):
+        for offset in self._boundaries():
+            truncated = BASE_PROGRAM[:offset]
+            result = _run(truncated)
+            _assert_ledger_clean_vocab(result)
+
+    def test_mid_token_truncation(self):
+        # Also cut *inside* tokens (identifier, keyword, string) — one
+        # character past each boundary.
+        for offset in self._boundaries()[::3]:
+            truncated = BASE_PROGRAM[: offset + 1]
+            result = _run(truncated)
+            _assert_ledger_clean_vocab(result)
